@@ -1,0 +1,15 @@
+"""Benchmark harness configuration.
+
+Each figure/table of the paper has one benchmark that *regenerates* it:
+the benchmark body runs the experiment (which includes its paper-shape
+assertions) and prints the reproduced table/plot, so
+``pytest benchmarks/ --benchmark-only -s`` re-creates the evaluation
+section end to end.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,16 @@
+"""Bench ABL-*: ablations of DESIGN.md's called-out design choices."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_design_choice_ablations(benchmark):
+    result = run_once(benchmark, ablations.run, quick=True)
+    print("\n" + result["report"])
+    # Coalescing trades lone-packet latency for efficiency (§2).
+    assert result["coalescing"]["lat_off_us"] < result["coalescing"]["lat_on_us"]
+    # Figure 8(b) direct dispatch saves latency.
+    assert result["direct"]["lat_direct_us"] < result["direct"]["lat_stock_us"]
+    # The declined fragmentation offload would have helped (paper §2/§5).
+    assert result["fragmentation"]["bw_nic_frag"] > result["fragmentation"]["bw_sw_frag"]

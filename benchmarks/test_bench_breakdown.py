@@ -1,0 +1,13 @@
+"""Bench CPU-BRK: receiver CPU-cycle accounting, CLIC vs TCP (§2/§5)."""
+
+from conftest import run_once
+
+from repro.experiments import breakdown
+
+
+def test_cpu_breakdown(benchmark):
+    result = run_once(benchmark, breakdown.run, quick=True)
+    print("\n" + result["report"])
+    clic, tcp = result["clic"]["breakdown"], result["tcp"]["breakdown"]
+    # The §2 claim: the TCP/IP stack's per-packet work devours the CPU.
+    assert tcp["protocol"] > 3 * clic["protocol"]

@@ -1,0 +1,13 @@
+"""Bench EXT-COLL: MPI collective scaling over CLIC vs TCP."""
+
+from conftest import run_once
+
+from repro.experiments import collectives_scaling
+
+
+def test_collective_scaling(benchmark):
+    result = run_once(benchmark, collectives_scaling.run, quick=True)
+    print("\n" + result["report"])
+    times = result["times"]
+    # CLIC's advantage holds for the synchronization-heavy barrier.
+    assert times["barrier"]["tcp/8"] > 2 * times["barrier"]["clic/8"]

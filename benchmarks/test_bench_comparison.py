@@ -1,0 +1,15 @@
+"""Bench TXT-GAMMA: the §5 comparison against GAMMA (and VIA)."""
+
+from conftest import run_once
+
+from repro.experiments import comparison
+
+
+def test_gamma_via_comparison(benchmark):
+    result = run_once(benchmark, comparison.run, quick=True)
+    print("\n" + result["report"])
+    # Paper: GAMMA 32 us / 768-824 Mb/s vs CLIC 36 us / ~600 Mb/s.
+    assert result["latency_us"]["GAMMA"] < result["latency_us"]["CLIC"]
+    assert result["bandwidth"]["GAMMA"] > result["bandwidth"]["CLIC"]
+    # ...and CLIC alone is reliable (the feature table of §5).
+    assert result["survives_loss"] == {"CLIC": True, "GAMMA": False, "VIA": False}

@@ -1,0 +1,14 @@
+"""Bench FE-2001: the Fast Ethernet baseline and the §2 bottleneck shift."""
+
+from conftest import run_once
+
+from repro.experiments import fe_baseline
+
+
+def test_fast_ethernet_baseline(benchmark):
+    result = run_once(benchmark, fe_baseline.run, quick=True)
+    print("\n" + result["report"])
+    cells = result["cells"]
+    # The §2 story in two numbers: near-wire at FE, host-bound at GigE.
+    assert cells["FE/CLIC"]["wire_fraction"] > 0.85
+    assert cells["GigE/CLIC"]["wire_fraction"] < cells["FE/CLIC"]["wire_fraction"]

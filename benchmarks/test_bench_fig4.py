@@ -1,0 +1,15 @@
+"""Bench FIG4: CLIC bandwidth for MTU x copy-mode (paper Figure 4)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4_mtu_and_copy_curves(benchmark):
+    result = run_once(benchmark, fig4.run, quick=True)
+    print("\n" + result["report"])
+    # Shape checks already ran inside run(); spot-check the asymptote
+    # ordering the paper's Figure 4 displays.
+    asym = result["asymptotes"]
+    assert asym["st 9000/0-copy"] > asym["st 1500/0-copy"]
+    assert result["id"] == "FIG4"

@@ -1,0 +1,14 @@
+"""Bench FIG5: CLIC vs TCP/IP at both MTUs (paper Figure 5)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_clic_vs_tcp(benchmark):
+    result = run_once(benchmark, fig5.run, quick=True)
+    print("\n" + result["report"])
+    asym = result["asymptotes"]
+    # The paper's headline ratio: CLIC ~2x TCP at TCP's best MTU.
+    assert asym["CLIC 9000"] / asym["TCP 9000"] >= 1.7
+    assert result["id"] == "FIG5"

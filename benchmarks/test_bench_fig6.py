@@ -1,0 +1,14 @@
+"""Bench FIG6: CLIC / MPI-CLIC / MPI-TCP / PVM-TCP (paper Figure 6)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_middleware_curves(benchmark):
+    result = run_once(benchmark, fig6.run, quick=True)
+    print("\n" + result["report"])
+    asym = result["asymptotes"]
+    assert asym["MPI-CLIC"] / asym["MPI/TCP"] >= 1.5  # paper's worst case
+    assert asym["PVM/TCP"] <= asym["MPI/TCP"]
+    assert result["id"] == "FIG6"

@@ -1,0 +1,17 @@
+"""Bench FIG7: per-stage timing of a 1400-byte packet (paper Figure 7)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_pipeline_timeline(benchmark):
+    result = run_once(benchmark, fig7.run, quick=True)
+    print("\n" + result["report"])
+    stages_a = dict(result["a"]["stages"])
+    # Paper Figure 7(a): the receiver's driver-interrupt stage ~15 us.
+    drv = stages_a["receiver: driver interrupt (NIC->system copy)"]
+    assert 10 <= drv <= 25
+    # Figure 7(b): the improved interrupt path shrinks markedly.
+    assert result["b"]["sw_rx_us"] * 2 <= result["a"]["sw_rx_us"]
+    assert result["id"] == "FIG7"

@@ -1,0 +1,17 @@
+"""Bench TXT-LAT / TXT-BW: the headline numbers of §4/§5."""
+
+from conftest import run_once
+
+from repro.experiments import headline
+
+
+def test_headline_numbers(benchmark):
+    result = run_once(benchmark, headline.run, quick=True)
+    print("\n" + result["report"])
+    # Paper: 36 us latency; 600 / 450 Mb/s asymptotes.
+    assert 20 <= result["latency_us"] <= 55
+    assert 450 <= result["bw_jumbo"] <= 750
+    assert 350 <= result["bw_std"] <= 600
+    # Paper: half-bandwidth at 4 KB (CLIC) vs 16 KB (TCP) — we check the
+    # relative claim (CLIC saturates at a several-times-smaller size).
+    assert result["tcp_half_bytes"] > 2.5 * result["clic_half_bytes"]

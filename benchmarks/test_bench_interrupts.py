@@ -1,0 +1,14 @@
+"""Bench SEC2-INT: interrupt-rate / CPU-load analysis (paper §2)."""
+
+from conftest import run_once
+
+from repro.experiments import interrupts
+
+
+def test_interrupt_rate_analysis(benchmark):
+    result = run_once(benchmark, interrupts.run, quick=True)
+    print("\n" + result["report"])
+    cells = result["cells"]
+    # Jumbo stretches the per-frame interrupt interval by ~6x (paper §2).
+    ratio = cells["9000/False"]["interval_us"] / cells["1500/False"]["interval_us"]
+    assert 3 <= ratio <= 9

@@ -1,0 +1,40 @@
+"""Micro-benchmarks of the simulator itself.
+
+Not a paper figure: these keep the simulation engine's Python-level
+performance honest (the experiments run hundreds of thousands of events;
+a regression here makes the figure benches crawl).
+"""
+
+from repro.cluster import Cluster
+from repro.config import granada2003
+from repro.sim import Environment
+from repro.workloads import clic_pair, pingpong
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw engine: schedule/dispatch a chain of timeouts."""
+
+    def chain():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(10)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    result = benchmark(chain)
+    assert result == 100_000
+
+
+def test_clic_pingpong_simulation_speed(benchmark):
+    """End-to-end: one 64 KB CLIC ping-pong per round."""
+
+    def roundtrip():
+        cluster = Cluster(granada2003())
+        return pingpong(cluster, clic_pair(), 65_536, repeats=1, warmup=0).rtt_ns
+
+    rtt = benchmark(roundtrip)
+    assert rtt > 0

@@ -1,0 +1,81 @@
+"""Domain example: 1-D heat diffusion with MPI halo exchange.
+
+The workload the paper's introduction motivates: a fine-grained parallel
+stencil code whose per-iteration halo exchanges make the communication
+layer the bottleneck.  The same program runs over MPI-on-CLIC and
+MPI-on-TCP; the CLIC run finishes markedly faster because each of the
+many small halo messages pays CLIC's thin per-message cost instead of
+the full TCP/IP stack.
+
+Each rank owns a slab of the rod, exchanges one-cell halos with its
+neighbours every iteration (8 bytes per boundary cell), computes the
+stencil (modeled compute time proportional to local cells), and joins an
+allreduce for the convergence check every few iterations.
+
+Run:  python examples/mpi_heat_equation.py
+"""
+
+from repro import Cluster, granada2003
+from repro.mpi import build_world
+
+CELLS_PER_RANK = 20_000
+BYTES_PER_CELL = 8
+ITERATIONS = 40
+CHECK_EVERY = 10
+#: modeled stencil time per cell (a few FLOPs on a 1.5 GHz machine)
+COMPUTE_NS_PER_CELL = 4.0
+
+
+def heat_program(ctx):
+    """One rank's time-stepping loop."""
+    left = ctx.rank - 1 if ctx.rank > 0 else None
+    right = ctx.rank + 1 if ctx.rank < ctx.size - 1 else None
+    halo = BYTES_PER_CELL
+
+    for step in range(ITERATIONS):
+        # Post halo receives first, then send ours (classic non-deadlocking
+        # exchange using nonblocking receives).
+        reqs = []
+        if left is not None:
+            reqs.append(ctx.irecv(halo, source=left, tag=step))
+        if right is not None:
+            reqs.append(ctx.irecv(halo, source=right, tag=step))
+        if left is not None:
+            yield from ctx.send(left, halo, tag=step)
+        if right is not None:
+            yield from ctx.send(right, halo, tag=step)
+        for req in reqs:
+            yield from req.wait()
+
+        # Stencil update over the local slab.
+        yield from ctx.proc.compute(CELLS_PER_RANK * COMPUTE_NS_PER_CELL)
+
+        # Periodic global residual check.
+        if (step + 1) % CHECK_EVERY == 0:
+            yield from ctx.allreduce(8)
+
+    yield from ctx.barrier()
+    return ctx.proc.env.now
+
+
+def run(transport: str, nodes: int = 4) -> float:
+    cluster = Cluster(granada2003(num_nodes=nodes))
+    world = build_world(cluster, transport)
+    finish_times = world.run(heat_program)
+    return max(finish_times) / 1e6  # ms
+
+
+def main() -> None:
+    nodes = 4
+    print(f"1-D heat equation, {nodes} ranks x {CELLS_PER_RANK} cells, "
+          f"{ITERATIONS} iterations\n")
+    clic_ms = run("clic", nodes)
+    tcp_ms = run("tcp", nodes)
+    print(f"MPI over CLIC : {clic_ms:8.2f} ms")
+    print(f"MPI over TCP  : {tcp_ms:8.2f} ms")
+    print(f"speedup       : {tcp_ms / clic_ms:8.2f}x  "
+          "(halo exchanges dominate; CLIC's thin per-message path wins)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: two nodes, one message, and the paper's headline numbers.
+
+Builds the calibrated Granada-2003 testbed (two 1.5 GHz PCs with Gigabit
+Ethernet NICs on 33 MHz PCI behind a switch), sends a message over CLIC,
+then measures the two numbers the paper leads with: 0-byte latency and
+asymptotic bandwidth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClicEndpoint, Cluster, granada2003, pingpong, stream
+from repro.workloads import clic_pair
+
+
+def main() -> None:
+    # --- 1. a message across the cluster ---------------------------------
+    cluster = Cluster(granada2003())
+    node_a, node_b = cluster.nodes
+    proc_a, proc_b = node_a.spawn("app-a"), node_b.spawn("app-b")
+    ep_a, ep_b = ClicEndpoint(proc_a, port=5), ClicEndpoint(proc_b, port=5)
+
+    def sender(proc):
+        print(f"[{proc.env.now/1000:8.1f} us] {proc.name}: sending 64 KB over CLIC")
+        yield from ep_a.send(node_b.node_id, nbytes=64_000, tag=1)
+        yield from ep_a.flush(node_b.node_id)
+        print(f"[{proc.env.now/1000:8.1f} us] {proc.name}: all fragments acknowledged")
+
+    def receiver(proc):
+        msg = yield from ep_b.recv(tag=1)
+        print(
+            f"[{proc.env.now/1000:8.1f} us] {proc.name}: received {msg.nbytes} B "
+            f"from node {msg.src_node}"
+        )
+
+    proc_a.run(sender)
+    proc_b.run(receiver)
+    cluster.run()
+
+    # --- 2. the paper's headline measurements ------------------------------
+    latency = pingpong(Cluster(granada2003()), clic_pair(), nbytes=0, repeats=3, warmup=1)
+    print(f"\n0-byte one-way latency : {latency.one_way_ns/1000:6.1f} us   (paper: 36 us)")
+
+    for mtu, paper in ((9000, 600), (1500, 450)):
+        result = stream(Cluster(granada2003(mtu=mtu)), clic_pair(), nbytes=2_000_000)
+        print(
+            f"bandwidth, MTU {mtu:>4}   : {result.bandwidth_mbps:6.0f} Mb/s "
+            f"(paper: ~{paper} Mb/s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — reproduction of *The Lightweight Protocol CLIC on Gigabit
+Ethernet* (Díaz et al., IPPS 2003) as a discrete-event simulation.
+
+The package builds the paper's entire experimental stack in software: a
+mechanism-level cluster node (CPU with interrupt priorities, memory and
+PCI buses, Gigabit Ethernet NICs with coalescing/jumbo/scatter-gather,
+link + switch), a Linux-2.4-like kernel substrate (syscalls, IRQs,
+bottom halves, sk_buffs), the CLIC protocol itself, the TCP/IP baseline,
+GAMMA and VIA comparators, and MPI/PVM middleware — then re-runs every
+figure of the paper's evaluation on top.
+
+Quickstart::
+
+    from repro import Cluster, granada2003, ClicEndpoint
+
+    cluster = Cluster(granada2003())
+    a, b = cluster.nodes[0].spawn(), cluster.nodes[1].spawn()
+    ep_a, ep_b = ClicEndpoint(a, port=5), ClicEndpoint(b, port=5)
+
+    def sender(proc):
+        yield from ep_a.send(1, nbytes=64_000)
+
+    def receiver(proc):
+        msg = yield from ep_b.recv()
+        print(f"{msg.nbytes} bytes at t={proc.env.now/1000:.1f} us")
+
+    a.run(sender); b.run(receiver)
+    cluster.run()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .cluster import Cluster, Node
+from .config import (
+    ClusterConfig,
+    MTU_JUMBO,
+    MTU_STANDARD,
+    NodeConfig,
+    granada2003,
+)
+from .protocols.clic import ClicEndpoint, ClicMessage
+from .protocols.tcpip import TcpIpStack, TcpSocket, UdpSocket
+from .workloads import pingpong, stream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClicEndpoint",
+    "ClicMessage",
+    "Cluster",
+    "ClusterConfig",
+    "MTU_JUMBO",
+    "MTU_STANDARD",
+    "Node",
+    "NodeConfig",
+    "TcpIpStack",
+    "TcpSocket",
+    "UdpSocket",
+    "granada2003",
+    "pingpong",
+    "stream",
+]

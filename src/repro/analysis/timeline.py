@@ -1,0 +1,122 @@
+"""Pipeline timeline extraction — reproduces Figure 7.
+
+Figure 7 shows where the microseconds go for a single 1400-byte packet
+crossing the CLIC pipeline: sender syscall + CLIC_MODULE + driver, wire
+flight, receiver driver-interrupt stage (the dominant ~15 µs), bottom
+halves -> CLIC_MODULE, and the copy into user memory.  This module
+reconstructs those stages from the simulator's trace records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim import Trace, TraceRecord
+
+__all__ = ["Stage", "PacketTimeline", "extract_packet_timeline"]
+
+
+@dataclass
+class Stage:
+    """One labeled interval of the pipeline."""
+
+    name: str
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_us(self) -> float:
+        return (self.end_ns - self.start_ns) / 1000
+
+    def __repr__(self) -> str:
+        return f"{self.name}: {self.duration_us:.2f} us"
+
+
+@dataclass
+class PacketTimeline:
+    """The full pipeline breakdown of one packet."""
+
+    packet_id: int
+    stages: List[Stage]
+
+    @property
+    def total_us(self) -> float:
+        return (self.stages[-1].end_ns - self.stages[0].start_ns) / 1000
+
+    def stage(self, name: str) -> Stage:
+        """Return the stage named ``name`` (KeyError if absent)."""
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage {name!r} (have {[s.name for s in self.stages]})")
+
+    def as_rows(self) -> List[tuple]:
+        """Rows of (stage, start us, duration us) for tabulation."""
+        return [(s.name, round(s.start_ns / 1000, 2), round(s.duration_us, 2)) for s in self.stages]
+
+
+def _first(records: List[TraceRecord], source_suffix: str, event: str, **detail) -> Optional[TraceRecord]:
+    for r in records:
+        if not r.source.endswith(source_suffix) and source_suffix:
+            continue
+        if r.event != event:
+            continue
+        if all(r.detail.get(k) == v for k, v in detail.items()):
+            return r
+    return None
+
+
+def extract_packet_timeline(trace: Trace, packet_id: int, sender: str, receiver: str) -> PacketTimeline:
+    """Rebuild Figure 7's stages for ``packet_id``.
+
+    ``sender``/``receiver`` are node name prefixes ("node0", "node1").
+    Expected trace records (all emitted by the kernel/driver/module):
+
+    * sender: ``syscall_enter``/``syscall_exit`` around the send,
+      ``driver_tx`` when the descriptor is posted;
+    * receiver: ``irq_begin``, ``driver_rx`` (with ``t0``), ``module_rx``,
+      and the receive syscall/wake records.
+    """
+    records = trace.records
+    sys_enter = _first(records, f"{sender}.kernel", "syscall_enter", label="clic_send")
+    drv_tx = _first(records, "", "driver_tx", pkt=packet_id)
+    drv_rx = _first(records, "", "driver_rx", pkt=packet_id)
+    mod_rx = _first(records, f"{receiver}.clic", "module_rx", pkt=packet_id)
+    if sys_enter is None or drv_tx is None or drv_rx is None or mod_rx is None:
+        missing = [
+            name
+            for name, rec in [
+                ("syscall_enter", sys_enter),
+                ("driver_tx", drv_tx),
+                ("driver_rx", drv_rx),
+                ("module_rx", mod_rx),
+            ]
+            if rec is None
+        ]
+        raise ValueError(f"trace incomplete for packet {packet_id}: missing {missing}")
+
+    irq_begin = None
+    for r in records:
+        if r.event == "irq_begin" and r.source.startswith(receiver) and r.time <= r.time:
+            if r.time <= drv_rx.time:
+                irq_begin = r
+    if irq_begin is None:
+        raise ValueError("no irq_begin before driver_rx")
+
+    # Wake of the receiving process (first wake after module_rx), if any.
+    wake = None
+    for r in records:
+        if r.event == "wake" and r.source.startswith(receiver) and r.time >= mod_rx.time:
+            wake = r
+            break
+
+    stages = [
+        Stage("sender: syscall + CLIC_MODULE + driver", sys_enter.time, drv_tx.time),
+        Stage("NIC DMA + flight", drv_tx.time, irq_begin.time),
+        Stage("receiver: driver interrupt (NIC->system copy)", irq_begin.time, drv_rx.time),
+        Stage("bottom halves -> CLIC_MODULE", drv_rx.time, mod_rx.time),
+    ]
+    if wake is not None:
+        stages.append(Stage("CLIC_MODULE copy to user + wake", mod_rx.time, wake.time))
+    return PacketTimeline(packet_id=packet_id, stages=stages)

@@ -1,0 +1,6 @@
+"""Cluster assembly."""
+
+from .cluster import Cluster
+from .node import Node, mac_for
+
+__all__ = ["Cluster", "Node", "mac_for"]

@@ -1,0 +1,122 @@
+"""Cluster assembly: N nodes behind one store-and-forward switch.
+
+This is the experiment entry point: build a :class:`Cluster` from a
+:class:`~repro.config.ClusterConfig`, spawn processes on its nodes, and
+run the shared :class:`~repro.sim.Environment`.
+
+Protocol engines are attached per the ``protocols`` argument; CLIC and
+TCP/IP coexist on stock (``irq-pull``) NICs, while the GAMMA and VIA
+comparators need their modified-driver / user-level NIC behaviour
+(``push`` receive mode) and therefore their own cluster instance —
+matching reality, where installing GAMMA means replacing the driver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..config import ClusterConfig
+from ..hw import Channel, Switch
+from ..sim import Environment, RngStreams, Trace
+from .node import Node, mac_for
+
+__all__ = ["Cluster"]
+
+_PULL_PROTOCOLS = {"clic", "tcp"}
+_PUSH_PROTOCOLS = {"gamma", "via"}
+
+
+class Cluster:
+    """A simulated cluster (nodes + switch + links + protocol engines)."""
+
+    def __init__(
+        self,
+        cfg: Optional[ClusterConfig] = None,
+        protocols: Iterable[str] = ("clic", "tcp"),
+        loss_rate: float = 0.0,
+        node_overrides: Optional[dict] = None,
+    ):
+        """``node_overrides`` maps node_id -> NodeConfig for heterogeneous
+        clusters (e.g. the jumbo-frame interoperability experiment, where
+        one side runs MTU 9000 and the other MTU 1500)."""
+        self.cfg = cfg if cfg is not None else ClusterConfig()
+        self.protocols = tuple(protocols)
+        unknown = set(self.protocols) - _PULL_PROTOCOLS - _PUSH_PROTOCOLS
+        if unknown:
+            raise ValueError(f"unknown protocols: {sorted(unknown)}")
+        if set(self.protocols) & _PULL_PROTOCOLS and set(self.protocols) & _PUSH_PROTOCOLS:
+            raise ValueError(
+                "GAMMA/VIA need modified-driver NICs and cannot share a "
+                "cluster with CLIC/TCP — build separate clusters"
+            )
+        rx_mode = "push" if set(self.protocols) & _PUSH_PROTOCOLS else "irq-pull"
+
+        self.env = Environment()
+        self.rng = RngStreams(self.cfg.seed)
+        self.trace = Trace(enabled=self.cfg.trace)
+        self.switch = Switch(self.env, self.cfg.link)
+        self.nodes: List[Node] = []
+
+        overrides = node_overrides or {}
+        for node_id in range(self.cfg.num_nodes):
+            node = Node(
+                self.env,
+                overrides.get(node_id, self.cfg.node),
+                self.cfg.link,
+                node_id,
+                trace=self.trace,
+                rx_mode=rx_mode,
+            )
+            self.nodes.append(node)
+            for ch, nic in enumerate(node.nics):
+                to_switch = Channel(
+                    self.env, self.cfg.link, f"{node.name}.ch{ch}->sw",
+                    loss_rate=loss_rate,
+                    rng=self.rng.stream(f"loss.{node_id}.{ch}.up") if loss_rate else None,
+                )
+                from_switch = Channel(
+                    self.env, self.cfg.link, f"sw->{node.name}.ch{ch}",
+                    loss_rate=loss_rate,
+                    rng=self.rng.stream(f"loss.{node_id}.{ch}.down") if loss_rate else None,
+                )
+                port = self.switch.attach(from_switch, mac_for(node_id, ch))
+                to_switch.connect(self.switch.ingress(port))
+                from_switch.connect(nic.receive_frame)
+                nic.attach_tx(to_switch)
+
+        self._attach_protocols()
+
+    def _attach_protocols(self) -> None:
+        # Imports here avoid protocol<->cluster import cycles.
+        if "clic" in self.protocols:
+            from ..protocols.clic import ClicModule
+
+            for node in self.nodes:
+                node.clic = ClicModule(node)
+        if "tcp" in self.protocols:
+            from ..protocols.tcpip import TcpIpStack
+
+            for node in self.nodes:
+                node.tcp = TcpIpStack(node)
+        if "gamma" in self.protocols:
+            from ..protocols.gamma import GammaLayer
+
+            for node in self.nodes:
+                node.gamma = GammaLayer(node)
+        if "via" in self.protocols:
+            from ..protocols.via import ViaNic
+
+            for node in self.nodes:
+                node.via = ViaNic(node)
+
+    # -- conveniences ----------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+        return self.nodes[node_id]
+
+    def run(self, until=None):
+        """Advance the shared simulation."""
+        return self.env.run(until=until)
+
+    def __repr__(self) -> str:
+        return f"<Cluster nodes={len(self.nodes)} protocols={self.protocols}>"

@@ -1,0 +1,5 @@
+"""Experiments: one module per paper figure/table/claim (see DESIGN.md)."""
+
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,7 @@
+"""CLI entry point: ``python -m repro.experiments fig4``."""
+
+import sys
+
+from .registry import main
+
+sys.exit(main())

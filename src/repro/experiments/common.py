@@ -1,0 +1,82 @@
+"""Shared experiment infrastructure.
+
+Each experiment module exposes ``run(quick=True) -> dict`` returning the
+measured series plus a rendered report, and a set of *shape checks* —
+the paper's qualitative claims — that the benchmark suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cluster import Cluster
+from ..config import ClusterConfig, granada2003
+from ..workloads import SweepSeries, netpipe_sizes, pingpong, stream
+
+__all__ = [
+    "quick_sizes",
+    "full_sizes",
+    "sweep_pingpong",
+    "sweep_stream",
+    "check",
+    "ShapeCheckFailure",
+]
+
+
+class ShapeCheckFailure(AssertionError):
+    """A paper-shape invariant did not hold."""
+
+
+def check(condition: bool, claim: str, detail: str = "") -> None:
+    """Assert a paper-shape claim with a readable message."""
+    if not condition:
+        raise ShapeCheckFailure(f"shape claim violated: {claim}" + (f" ({detail})" if detail else ""))
+
+
+def quick_sizes() -> List[int]:
+    """Reduced grid for CI/benchmarks: 10^2 .. 10^6."""
+    return [100, 1_000, 10_000, 100_000, 1_000_000]
+
+
+def full_sizes() -> List[int]:
+    """The paper's grid: 10^1 .. 10^7, ~2 points per decade."""
+    return netpipe_sizes(1, 7, points_per_decade=2)
+
+
+def sweep_pingpong(
+    label: str,
+    cfg_factory: Callable[[], ClusterConfig],
+    setup_factory: Callable,
+    sizes: Sequence[int],
+    repeats: int = 1,
+) -> SweepSeries:
+    """NetPIPE-style ping-pong bandwidth curve."""
+    series = SweepSeries(label)
+    for nbytes in sizes:
+        cluster = Cluster(cfg_factory())
+        series.points.append(
+            pingpong(cluster, setup_factory(), nbytes, repeats=repeats, warmup=1)
+        )
+    return series
+
+
+def sweep_stream(
+    label: str,
+    cfg_factory: Callable[[], ClusterConfig],
+    setup_factory: Callable,
+    sizes: Sequence[int],
+    messages: int = 12,
+) -> "SweepSeries":
+    """Pipelined stream bandwidth curve (ttcp-style), wrapped so the
+    SweepSeries helpers (asymptote, half-bandwidth) apply."""
+    from ..workloads.pingpong import PingPongResult
+
+    series = SweepSeries(label)
+    for nbytes in sizes:
+        cluster = Cluster(cfg_factory())
+        result = stream(cluster, setup_factory(), nbytes, messages=messages)
+        per_message_ns = result.elapsed_ns / messages
+        series.points.append(
+            PingPongResult(nbytes=nbytes, repeats=messages, rtt_ns=2 * per_message_ns)
+        )
+    return series

@@ -1,0 +1,71 @@
+"""Experiment registry and CLI.
+
+``python -m repro.experiments <id> [--full]`` runs one experiment and
+prints its report; ``all`` runs the whole battery (the contents of
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import (
+    ablations,
+    breakdown,
+    collectives_scaling,
+    comparison,
+    fe_baseline,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    headline,
+    interrupts,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "headline": headline.run,
+    "comparison": comparison.run,
+    "interrupts": interrupts.run,
+    "ablations": ablations.run,
+    "breakdown": breakdown.run,
+    "collectives": collectives_scaling.run,
+    "fe2001": fe_baseline.run,
+}
+
+
+def run_experiment(name: str, quick: bool = True) -> Dict:
+    """Run one registered experiment; returns its result dict."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; have {sorted(EXPERIMENTS)}") from None
+    return runner(quick=quick)
+
+
+def main(argv=None) -> int:
+    """CLI entry: run the named experiment(s) and print reports."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the paper's full 10^1..10^7 size grid (slower)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, quick=not args.full)
+        print(result["report"])
+        print()
+    return 0

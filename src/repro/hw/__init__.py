@@ -1,0 +1,21 @@
+"""Hardware substrate: CPU, memory, PCI, NIC, link, switch."""
+
+from .cpu import PRIO_IRQ, PRIO_KERNEL, PRIO_SOFTIRQ, PRIO_USER, Cpu
+from .link import Channel, Link
+from .memory import MemoryBus
+from .pci import PciBus
+from .switch import Switch, SwitchPort
+
+__all__ = [
+    "Channel",
+    "Cpu",
+    "Link",
+    "MemoryBus",
+    "PciBus",
+    "PRIO_IRQ",
+    "PRIO_KERNEL",
+    "PRIO_SOFTIRQ",
+    "PRIO_USER",
+    "Switch",
+    "SwitchPort",
+]

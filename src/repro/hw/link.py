@@ -1,0 +1,99 @@
+"""Point-to-point Gigabit Ethernet links.
+
+A :class:`Link` is full duplex: two independent :class:`Channel`\\ s, one
+per direction.  Each channel serializes frames at the line rate
+(including preamble, CRC padding and inter-frame gap) and delivers them
+to its sink after the propagation delay.  Optional loss injection
+exercises the protocols' reliability machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from ..config import LinkParams
+from ..sim import BusyTracker, Counters, Environment, Resource
+from .nic.frames import Frame, frame_time_ns
+
+__all__ = ["Channel", "Link"]
+
+
+class Channel:
+    """One direction of a link: serialize, propagate, deliver."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: LinkParams,
+        name: str = "chan",
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.env = env
+        self.params = params
+        self.name = name
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self._wire = Resource(env, capacity=1, name=name)
+        self._sink: Optional[Callable[[Frame], None]] = None
+        self.busy = BusyTracker()
+        self.counters = Counters()
+        if loss_rate and rng is None:
+            raise ValueError("loss injection requires an RNG stream")
+
+    def connect(self, sink: Callable[[Frame], None]) -> None:
+        """Attach the receiving endpoint (called once per channel)."""
+        if self._sink is not None:
+            raise RuntimeError(f"channel {self.name} already connected")
+        self._sink = sink
+
+    def transmit(self, frame: Frame) -> Generator:
+        """Serialize ``frame`` onto the wire (the caller waits for that),
+        then deliver it to the sink after propagation."""
+        if self._sink is None:
+            raise RuntimeError(f"channel {self.name} has no sink")
+        duration = frame_time_ns(frame, self.params)
+        with self._wire.request() as grant:
+            yield grant
+            self.busy.acquire(self.env.now)
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                self.busy.release(self.env.now)
+        self.counters.add("frames")
+        self.counters.add("bytes", frame.payload_bytes)
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.counters.add("frames_lost")
+            return
+        self.env.process(self._deliver(frame), name=f"{self.name}.deliver")
+
+    def _deliver(self, frame: Frame) -> Generator:
+        yield self.env.timeout(self.params.propagation_ns)
+        self._sink(frame)
+
+    def utilization(self) -> float:
+        """Busy fraction of this direction since time zero."""
+        now = self.env.now
+        if now <= 0:
+            return 0.0
+        return self.busy.busy_time(now) / now
+
+
+class Link:
+    """A full-duplex link between two endpoints, A and B."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: LinkParams,
+        name: str = "link",
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.env = env
+        self.params = params
+        self.name = name
+        self.a_to_b = Channel(env, params, f"{name}.a2b", loss_rate, rng)
+        self.b_to_a = Channel(env, params, f"{name}.b2a", loss_rate, rng)

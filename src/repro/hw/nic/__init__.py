@@ -1,0 +1,19 @@
+"""Gigabit Ethernet NIC model."""
+
+from .base import Nic, RxFrame, TxDescriptor
+from .frames import BROADCAST, EtherType, Frame, MacAddress, frame_time_ns, max_payload, wire_bytes
+from .interrupts import InterruptCoalescer
+
+__all__ = [
+    "BROADCAST",
+    "EtherType",
+    "Frame",
+    "InterruptCoalescer",
+    "MacAddress",
+    "Nic",
+    "RxFrame",
+    "TxDescriptor",
+    "frame_time_ns",
+    "max_payload",
+    "wire_bytes",
+]

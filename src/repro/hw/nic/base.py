@@ -1,0 +1,293 @@
+"""The network interface card.
+
+Models an SMC9462TX / 3C996-T-class Gigabit Ethernet adapter:
+
+* **tx**: the driver posts descriptors into a bounded tx ring; the NIC's
+  transmit pump DMAs the bytes across PCI as *bus master* (directly from
+  user pages when the descriptor is scatter/gather — the paper's 0-copy
+  path #2 — or from kernel staging memory otherwise), charges firmware
+  per-frame processing, and serializes the frame onto the link;
+* **rx**: arriving frames occupy bounded on-card buffer slots (overflow
+  drops are counted — this is what the protocols' reliability layer must
+  survive); the coalescer asserts the host IRQ; by default the *driver*
+  then moves each frame to host memory across PCI inside the interrupt
+  context — exactly the 15 µs receive stage of the paper's Figure 7(a);
+* **push mode** (``rx_deliver="push"``): the NIC itself DMAs arriving
+  frames straight to pre-posted host buffers and invokes a host callback
+  per frame — the modified-driver behaviour GAMMA relies on and the
+  completion-queue behaviour VIA relies on;
+* optional **fragmentation offload** (paper §2, declined for CLIC to
+  preserve driver portability; implemented here as the paper's
+  future-work option): descriptors larger than the MTU are split into
+  MTU-sized frames by NIC firmware, and received fragments of one packet
+  are reassembled on-card before being handed to the host.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from typing import TYPE_CHECKING
+
+from ...config import LinkParams, NicParams
+from ...sim import Counters, Environment, Event, Store
+from ..pci import PciBus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: link.py needs frames.py
+    from ..link import Channel
+from .frames import EtherType, Frame, MacAddress, max_payload
+from .interrupts import InterruptCoalescer
+
+__all__ = ["TxDescriptor", "RxFrame", "Nic"]
+
+_desc_ids = itertools.count(1)
+
+
+@dataclass
+class TxDescriptor:
+    """One transmit request handed to the NIC by the driver."""
+
+    dst: MacAddress
+    ethertype: int
+    payload_bytes: int
+    payload: Any = None
+    #: scatter/gather straight from user memory (0-copy) vs kernel staging
+    from_user_memory: bool = False
+    #: event succeeded when the (last) frame has left the NIC
+    on_wire: Optional[Event] = None
+    desc_id: int = field(default_factory=lambda: next(_desc_ids))
+
+
+@dataclass
+class RxFrame:
+    """A received frame waiting in (or delivered from) the NIC."""
+
+    frame: Frame
+    arrived_at: float
+    #: set once the bytes sit in host memory
+    in_host_memory: bool = False
+
+
+class Nic:
+    """A Gigabit Ethernet adapter on one node's PCI bus."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: NicParams,
+        link_params: LinkParams,
+        pci: PciBus,
+        mac: MacAddress,
+        name: str = "nic",
+        rx_deliver: str = "irq-pull",
+    ):
+        if rx_deliver not in ("irq-pull", "push"):
+            raise ValueError(f"unknown rx_deliver mode {rx_deliver!r}")
+        self.env = env
+        self.params = params
+        self.link_params = link_params
+        self.pci = pci
+        self.mac = mac
+        self.name = name
+        self.rx_deliver = rx_deliver
+        self.counters = Counters()
+
+        self._tx_ring: Store = Store(env, capacity=params.tx_ring_slots, name=f"{name}.txring")
+        self._rx_buffer: List[RxFrame] = []  # bounded by rx_ring_slots
+        self._tx_channel: Optional["Channel"] = None
+
+        #: host-side IRQ trampoline, installed by the driver
+        self.irq_callback: Optional[Callable[[], None]] = None
+        #: push-mode per-frame host callback (GAMMA/VIA)
+        self.push_callback: Optional[Callable[[RxFrame], None]] = None
+
+        self.coalescer = InterruptCoalescer(env, params, self._assert_irq, name=f"{name}.coalesce")
+        #: on-card tx FIFO: decouples host-side DMA from wire serialization
+        self._tx_fifo: Store = Store(env, capacity=params.tx_fifo_frames, name=f"{name}.txfifo")
+        env.process(self._tx_pump(), name=f"{name}.txpump")
+        env.process(self._wire_pump(), name=f"{name}.wirepump")
+
+        # On-NIC reassembly state for fragmentation offload.
+        self._reassembly: dict = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_tx(self, channel: "Channel") -> None:
+        """Connect the NIC's transmit side to a link channel."""
+        if self._tx_channel is not None:
+            raise RuntimeError(f"{self.name} tx already attached")
+        self._tx_channel = channel
+
+    def receive_frame(self, frame: Frame) -> None:
+        """Link-side entry point: a frame has fully arrived (channel sink)."""
+        self.counters.add("rx_frames")
+        self.counters.add("rx_bytes", frame.payload_bytes)
+        if frame.payload_bytes > self.params.effective_mtu():
+            # Jumbo interoperability (paper §2: "both communicating
+            # computers have to use Jumbo frames"): an oversized frame is
+            # dropped by a standard-MTU receiver.
+            self.counters.add("rx_oversize_drops")
+            return
+        if len(self._rx_buffer) >= self.params.rx_ring_slots:
+            self.counters.add("rx_drops")
+            return
+        rx = RxFrame(frame=frame, arrived_at=self.env.now)
+        self.env.process(self._rx_process(rx), name=f"{self.name}.rx")
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+    def tx_ring_space(self) -> int:
+        """Free descriptor slots (the driver checks before posting)."""
+        return self.params.tx_ring_slots - len(self._tx_ring.items)
+
+    def try_post_tx(self, desc: TxDescriptor) -> bool:
+        """Post a descriptor if the ring has room; False when full.
+
+        The *driver* indicates to the protocol module whether the send is
+        possible right now (paper §3.1) — when not, CLIC stages the data
+        in system memory and retries later.
+        """
+        if self.tx_ring_space() <= 0:
+            self.counters.add("tx_ring_full")
+            return False
+        self._effective_mtu_check(desc)
+        self._tx_ring.put(desc)
+        return True
+
+    def post_tx(self, desc: TxDescriptor):
+        """Blocking post: event that triggers once the descriptor is queued."""
+        self._effective_mtu_check(desc)
+        return self._tx_ring.put(desc)
+
+    def _effective_mtu_check(self, desc: TxDescriptor) -> None:
+        mtu = self.params.effective_mtu()
+        if desc.payload_bytes > mtu and not self.params.supports_fragmentation:
+            raise ValueError(
+                f"descriptor of {desc.payload_bytes} B exceeds MTU {mtu} and "
+                f"{self.name} has no fragmentation offload — the protocol "
+                "module must fragment in software"
+            )
+
+    def _tx_pump(self) -> Generator:
+        while True:
+            desc: TxDescriptor = yield self._tx_ring.get()
+            # Bus-master DMA: fetch the payload (plus headers) across PCI.
+            yield from self.pci.dma(desc.payload_bytes, priority=2, label=f"{self.name}.tx")
+            mtu = self.params.effective_mtu()
+            if desc.payload_bytes <= mtu:
+                pieces = [(desc.payload_bytes, desc.payload, True)]
+            else:
+                # Fragmentation offload: firmware splits into MTU frames.
+                pieces = []
+                remaining = desc.payload_bytes
+                while remaining > 0:
+                    take = min(mtu, remaining)
+                    remaining -= take
+                    pieces.append((take, desc.payload, remaining == 0))
+                self.counters.add("tx_offload_fragmented")
+            last_idx = len(pieces) - 1
+            for idx, (nbytes, payload, last) in enumerate(pieces):
+                yield self.env.timeout(self.params.frame_processing_ns)
+                frame = Frame(
+                    src=self.mac,
+                    dst=desc.dst,
+                    ethertype=desc.ethertype,
+                    payload_bytes=nbytes,
+                    payload=payload,
+                )
+                if len(pieces) > 1:
+                    frame.payload = _FragmentMarker(desc.desc_id, payload, last=last, total=desc.payload_bytes)
+                on_wire = desc.on_wire if idx == last_idx else None
+                yield self._tx_fifo.put((frame, on_wire))
+            if desc.from_user_memory:
+                self.counters.add("tx_zero_copy")
+
+    def _wire_pump(self) -> Generator:
+        """Drain the on-card FIFO onto the wire (overlaps host DMA)."""
+        while True:
+            frame, on_wire = yield self._tx_fifo.get()
+            yield from self._tx_channel.transmit(frame)
+            self.counters.add("tx_frames")
+            self.counters.add("tx_bytes", frame.payload_bytes)
+            if on_wire is not None:
+                on_wire.succeed(self.env.now)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _rx_process(self, rx: RxFrame) -> Generator:
+        yield self.env.timeout(self.params.frame_processing_ns)
+        marker = rx.frame.payload if isinstance(rx.frame.payload, _FragmentMarker) else None
+        if marker is not None and self.params.supports_fragmentation:
+            # On-NIC reassembly: accumulate, deliver once complete.
+            acc = self._reassembly.setdefault(marker.desc_id, [0])
+            acc[0] += rx.frame.payload_bytes
+            if not marker.last:
+                return
+            total = acc[0]
+            del self._reassembly[marker.desc_id]
+            rx.frame.payload_bytes = total
+            rx.frame.payload = marker.payload
+            self.counters.add("rx_offload_reassembled")
+        elif marker is not None:
+            # Fragments but no offload on this side: hand up as-is; the
+            # protocol module deals with it (interop corner, counted).
+            self.counters.add("rx_fragment_no_offload")
+            rx.frame.payload = marker.payload
+
+        if self.rx_deliver == "push":
+            # NIC pushes straight to host memory, then tells the host.
+            yield from self.pci.dma(rx.frame.payload_bytes, priority=2, label=f"{self.name}.rxpush")
+            rx.in_host_memory = True
+            if self.push_callback is not None:
+                self.push_callback(rx)
+            return
+        self._rx_buffer.append(rx)
+        self.coalescer.note_frame()
+
+    def _assert_irq(self) -> None:
+        self.counters.add("irqs_asserted")
+        if self.irq_callback is None:
+            raise RuntimeError(f"{self.name}: IRQ asserted but no driver installed")
+        self.irq_callback()
+
+    # -- driver-facing rx services (irq-pull mode) -------------------------
+    def rx_pending(self) -> int:
+        """Frames waiting on-card for the driver."""
+        return len(self._rx_buffer)
+
+    def peek_rx(self) -> Optional[RxFrame]:
+        """The oldest pending rx frame without removing it (or None)."""
+        return self._rx_buffer[0] if self._rx_buffer else None
+
+    def dma_frame_to_host(self) -> Generator:
+        """Driver-side: move the oldest pending frame to host memory.
+
+        Charges the PCI transfer; the *caller* (the driver, in interrupt
+        context) stays busy for its own per-frame costs.  Returns the
+        :class:`RxFrame`.
+        """
+        if not self._rx_buffer:
+            raise RuntimeError(f"{self.name}: no pending rx frame")
+        rx = self._rx_buffer.pop(0)
+        yield from self.pci.dma(rx.frame.payload_bytes, priority=2, label=f"{self.name}.rx")
+        rx.in_host_memory = True
+        return rx
+
+    def irq_service_done(self) -> None:
+        """Driver-side: drain finished; re-arm coalescing."""
+        self.coalescer.service_done(len(self._rx_buffer))
+
+
+@dataclass
+class _FragmentMarker:
+    """Payload wrapper for NIC-offload fragments on the wire."""
+
+    desc_id: int
+    payload: Any
+    last: bool = False
+    total: int = 0

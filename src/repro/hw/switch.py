@@ -1,0 +1,123 @@
+"""Store-and-forward Ethernet switch.
+
+The paper's testbed connects the two machines through a Gigabit Ethernet
+switch (and §5 notes CLIC exploits Ethernet's data-link multicast and
+builds channel-bonded networks through a switch).  This model:
+
+* learns nothing dynamically — ports register their MAC on attach
+  (adequate for a closed cluster; keeps the simulation deterministic);
+* forwards a frame after its full reception (store-and-forward: the
+  ingress link has already serialized it) plus a fixed forwarding
+  latency;
+* replicates broadcast/multicast frames to every other port;
+* drops on egress-queue overflow (counted — exercised by the
+  reliability fault-injection tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..config import LinkParams
+from ..sim import Counters, Environment, Store
+from .link import Channel
+from .nic.frames import Frame, MacAddress
+
+__all__ = ["Switch", "SwitchPort"]
+
+#: Default forwarding latency of an early-2000s GigE switch (store-and-
+#: forward pipeline after last bit in), ns.
+DEFAULT_FORWARD_NS = 2_000.0
+
+
+class SwitchPort:
+    """One switch port: an egress queue plus its transmit pump."""
+
+    def __init__(self, switch: "Switch", index: int, egress: Channel, queue_frames: int):
+        self.switch = switch
+        self.index = index
+        self.egress = egress
+        self.queue: Store = Store(switch.env, capacity=queue_frames)
+        self.macs: List[MacAddress] = []
+        switch.env.process(self._pump(), name=f"switch.port{index}.tx")
+
+    def _pump(self) -> Generator:
+        while True:
+            frame = yield self.queue.get()
+            yield from self.egress.transmit(frame)
+
+    def enqueue(self, frame: Frame) -> None:
+        """Queue a frame for egress; drop (counted) if the queue is full."""
+        if len(self.queue.items) >= self.queue.capacity:
+            self.switch.counters.add("drops")
+            return
+        self.queue.put(frame)
+
+
+class Switch:
+    """An N-port store-and-forward switch."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link_params: LinkParams,
+        forward_ns: float = DEFAULT_FORWARD_NS,
+        queue_frames: int = 512,
+    ):
+        self.env = env
+        self.link_params = link_params
+        self.forward_ns = forward_ns
+        self.queue_frames = queue_frames
+        self.ports: List[SwitchPort] = []
+        self._mac_table: Dict[MacAddress, SwitchPort] = {}
+        self.counters = Counters()
+
+    def attach(self, egress: Channel, mac: MacAddress) -> SwitchPort:
+        """Create a port transmitting on ``egress``, owning ``mac``.
+
+        Returns the port; wire the device's tx channel sink to
+        ``port.receive``... i.e. ``channel.connect(switch.ingress(port))``.
+        """
+        port = SwitchPort(self, len(self.ports), egress, self.queue_frames)
+        port.macs.append(mac)
+        self.ports.append(port)
+        if mac in self._mac_table:
+            raise ValueError(f"duplicate MAC {mac}")
+        self._mac_table[mac] = port
+        return port
+
+    def add_mac(self, port: SwitchPort, mac: MacAddress) -> None:
+        """Register an extra MAC behind a port (channel bonding helper)."""
+        if mac in self._mac_table:
+            raise ValueError(f"duplicate MAC {mac}")
+        self._mac_table[mac] = port
+        port.macs.append(mac)
+
+    def ingress(self, from_port: SwitchPort):
+        """Sink callable for the channel feeding this switch from a device."""
+
+        def _receive(frame: Frame) -> None:
+            self.env.process(
+                self._forward(frame, from_port), name="switch.forward"
+            )
+
+        return _receive
+
+    def _forward(self, frame: Frame, from_port: SwitchPort) -> Generator:
+        yield self.env.timeout(self.forward_ns)
+        self.counters.add("forwarded")
+        if frame.is_broadcast:
+            for port in self.ports:
+                if port is not from_port:
+                    port.enqueue(frame)
+            return
+        port = self._mac_table.get(frame.dst)
+        if port is None:
+            # Unknown unicast: a real switch floods; in a closed cluster
+            # this indicates a wiring bug, so count and drop loudly.
+            self.counters.add("unknown_dst")
+            return
+        if port is from_port:
+            self.counters.add("hairpin_dropped")
+            return
+        port.enqueue(frame)

@@ -1,0 +1,18 @@
+"""MPI middleware over CLIC or TCP transports (Figure 6's contenders)."""
+
+from .api import ANY_SOURCE, ANY_TAG, MpiMessage, RankContext, Request
+from .transports import ClicTransport, TcpTransport
+from .world import World, build_world, mpirun
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ClicTransport",
+    "MpiMessage",
+    "RankContext",
+    "Request",
+    "TcpTransport",
+    "World",
+    "build_world",
+    "mpirun",
+]

@@ -1,0 +1,267 @@
+"""MPI point-to-point API.
+
+A deliberately small MPI: blocking send/recv, nonblocking isend/irecv
+with requests, sendrecv — the subset LAM/MPICH applications of the era
+lived on, and exactly what Figure 6 benchmarks.  Receives specify the
+expected byte count (as real MPI posts a typed buffer).
+
+Every call charges the middleware's per-call cost on the caller's CPU
+(request bookkeeping, matching) before touching the transport, so
+"MPI-CLIC sits slightly below raw CLIC" emerges the same way it does in
+the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..config import MpiParams
+from ..hw.cpu import PRIO_USER
+from ..sim import Process
+from .transports import ClicTransport, Envelope, TcpTransport
+
+__all__ = ["RankContext", "Request", "MpiMessage", "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = None
+ANY_TAG = None
+
+
+@dataclass
+class MpiMessage:
+    """Result of a receive."""
+
+    source: int
+    tag: int
+    nbytes: int
+    payload: object = None
+
+
+class Request:
+    """Handle for a nonblocking operation."""
+
+    def __init__(self, process: Process):
+        self._process = process
+
+    def wait(self) -> Generator:
+        """Block until the operation completes; returns its result."""
+        result = yield self._process
+        return result
+
+    @property
+    def done(self) -> bool:
+        return not self._process.is_alive
+
+    def test(self) -> Optional[object]:
+        """Non-blocking completion check (the MPI_Test analogue)."""
+        if self._process.is_alive:
+            return None
+        return self._process.value
+
+
+class RankContext:
+    """One MPI rank: the object application code receives."""
+
+    def __init__(self, world, rank: int, proc, transport):
+        self.world = world
+        self.rank = rank
+        self.proc = proc
+        self.transport = transport
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def params(self) -> MpiParams:
+        return self.world.params
+
+    def _library_overhead(self) -> Generator:
+        yield from self.proc.cpu.execute(
+            self.params.per_call_ns, PRIO_USER, label="mpi_call"
+        )
+
+    # -- blocking point-to-point ------------------------------------------------
+    def send(self, dest: int, nbytes: int, tag: int = 0, payload=None) -> Generator:
+        """MPI_Send."""
+        self._check_rank(dest)
+        yield from self._library_overhead()
+        yield from self.transport.send(dest, nbytes, tag, payload=payload)
+
+    def recv(
+        self,
+        nbytes: int,
+        source: Optional[int] = ANY_SOURCE,
+        tag: Optional[int] = ANY_TAG,
+    ) -> Generator:
+        """MPI_Recv into a posted buffer of ``nbytes``."""
+        if source is not None:
+            self._check_rank(source)
+        yield from self._library_overhead()
+        if isinstance(self.transport, TcpTransport):
+            if source is None:
+                raise NotImplementedError(
+                    "ANY_SOURCE needs the CLIC transport (see TcpTransport)"
+                )
+            env, payload = yield from self.transport.recv_sized(source, nbytes)
+        else:
+            env, payload = yield from self.transport.recv(source, tag)
+        if env.nbytes != nbytes:
+            raise AssertionError(
+                f"rank {self.rank}: posted {nbytes} B but received {env.nbytes} B"
+            )
+        source_rank = self.world.node_to_rank(env.source) if source is None else source
+        return MpiMessage(source=source_rank, tag=env.tag, nbytes=env.nbytes, payload=payload)
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_bytes: int,
+        source: int,
+        recv_bytes: int,
+        tag: int = 0,
+    ) -> Generator:
+        """MPI_Sendrecv (deadlock-free exchange)."""
+        req = self.isend(dest, send_bytes, tag=tag)
+        msg = yield from self.recv(recv_bytes, source=source, tag=tag)
+        yield from req.wait()
+        return msg
+
+    # -- nonblocking -------------------------------------------------------------
+    def isend(self, dest: int, nbytes: int, tag: int = 0, payload=None) -> Request:
+        """MPI_Isend."""
+        process = self.proc.env.process(
+            self.send(dest, nbytes, tag=tag, payload=payload),
+            name=f"rank{self.rank}.isend",
+        )
+        return Request(process)
+
+    def irecv(
+        self,
+        nbytes: int,
+        source: Optional[int] = ANY_SOURCE,
+        tag: Optional[int] = ANY_TAG,
+    ) -> Request:
+        """MPI_Irecv."""
+        process = self.proc.env.process(
+            self.recv(nbytes, source=source, tag=tag),
+            name=f"rank{self.rank}.irecv",
+        )
+        return Request(process)
+
+    def waitall(self, requests) -> Generator:
+        """MPI_Waitall: block until every request completes; returns
+        their results in order."""
+        results = []
+        for req in requests:
+            result = yield from req.wait()
+            results.append(result)
+        return results
+
+    def iprobe(self, source: Optional[int] = ANY_SOURCE, tag: Optional[int] = ANY_TAG):
+        """MPI_Iprobe: non-consuming, non-blocking envelope check.
+
+        Returns an :class:`MpiMessage` (payload-free) or ``None``.
+        Only available over the CLIC transport, whose in-kernel matching
+        supports peeking; MPICH's ch_p4-style TCP binding could not
+        probe either without a progress thread.
+        """
+        if isinstance(self.transport, TcpTransport):
+            raise NotImplementedError("probe needs the CLIC transport")
+        src_node = None if source is None else self.world._rank_to_node[source]
+        msg = self.transport.ep.module.probe(self.transport.ep.port, tag=tag, src=src_node)
+        if msg is None:
+            return None
+        from .transports import ENVELOPE_BYTES
+
+        return MpiMessage(
+            source=self.world.node_to_rank(msg.src_node),
+            tag=msg.tag,
+            nbytes=msg.nbytes - ENVELOPE_BYTES,
+        )
+
+    def probe(self, source: Optional[int] = ANY_SOURCE, tag: Optional[int] = ANY_TAG) -> Generator:
+        """MPI_Probe: block until a matching message is available,
+        without consuming it."""
+        poll_ns = 2_000.0
+        while True:
+            found = self.iprobe(source=source, tag=tag)
+            if found is not None:
+                return found
+            yield self.proc.env.timeout(poll_ns)
+
+    # -- collectives are provided by mixin-style functions -----------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world.size:
+            raise ValueError(f"rank {rank} out of range (world size {self.world.size})")
+
+    # Wire the collective algorithms in (defined in collectives.py to keep
+    # this module focused on point-to-point).
+    def barrier(self) -> Generator:
+        """MPI_Barrier (dissemination)."""
+        from .collectives import barrier
+
+        yield from barrier(self)
+
+    def bcast(self, nbytes: int, root: int = 0) -> Generator:
+        """MPI_Bcast (binomial tree)."""
+        from .collectives import bcast
+
+        result = yield from bcast(self, nbytes, root)
+        return result
+
+    def reduce(self, nbytes: int, root: int = 0) -> Generator:
+        """MPI_Reduce (binomial tree to the root)."""
+        from .collectives import reduce
+
+        result = yield from reduce(self, nbytes, root)
+        return result
+
+    def allreduce(self, nbytes: int) -> Generator:
+        """MPI_Allreduce (recursive doubling)."""
+        from .collectives import allreduce
+
+        result = yield from allreduce(self, nbytes)
+        return result
+
+    def gather(self, nbytes: int, root: int = 0) -> Generator:
+        """MPI_Gather (linear to the root)."""
+        from .collectives import gather
+
+        result = yield from gather(self, nbytes, root)
+        return result
+
+    def scatter(self, nbytes: int, root: int = 0) -> Generator:
+        """MPI_Scatter (linear from the root)."""
+        from .collectives import scatter
+
+        result = yield from scatter(self, nbytes, root)
+        return result
+
+    def allgather(self, nbytes: int) -> Generator:
+        """MPI_Allgather (ring)."""
+        from .collectives import allgather
+
+        result = yield from allgather(self, nbytes)
+        return result
+
+    def alltoall(self, nbytes: int) -> Generator:
+        """MPI_Alltoall (pairwise exchange)."""
+        from .collectives import alltoall
+
+        result = yield from alltoall(self, nbytes)
+        return result
+
+    def scan(self, nbytes: int) -> Generator:
+        """MPI_Scan (linear prefix chain)."""
+        from .collectives import scan
+
+        result = yield from scan(self, nbytes)
+        return result
+
+    def reduce_scatter(self, nbytes_per_rank: int) -> Generator:
+        """MPI_Reduce_scatter (ring)."""
+        from .collectives import reduce_scatter
+
+        result = yield from reduce_scatter(self, nbytes_per_rank)
+        return result

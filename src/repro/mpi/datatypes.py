@@ -1,0 +1,145 @@
+"""MPI datatype sizing.
+
+The simulator moves *byte counts*, so the MPI layer needs the classical
+datatype machinery only to answer one question: how many bytes does a
+``count`` of some (possibly derived) datatype occupy on the wire, and is
+it contiguous (eligible for CLIC's scatter/gather 0-copy) or strided
+(needs a pack, charged as a copy)?
+
+Supports the MPI-1 constructors LAM-era codes used: contiguous, vector,
+indexed, and struct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "Datatype",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "FLOAT",
+    "DOUBLE",
+    "contiguous",
+    "vector",
+    "indexed",
+    "struct",
+]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype: size (payload bytes), extent (span in memory),
+    and contiguity (whether a send can scatter/gather directly)."""
+
+    name: str
+    size: int
+    extent: int
+    contiguous: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 0 or self.extent < 0:
+            raise ValueError("negative datatype size/extent")
+        if self.extent < self.size:
+            raise ValueError(f"extent {self.extent} smaller than size {self.size}")
+
+    def bytes_for(self, count: int) -> int:
+        """Payload bytes for ``count`` elements."""
+        if count < 0:
+            raise ValueError("negative count")
+        return self.size * count
+
+    def footprint(self, count: int) -> int:
+        """Memory span for ``count`` elements (last element's padding
+        not included, per MPI extent rules)."""
+        if count == 0:
+            return 0
+        return self.extent * (count - 1) + self.size
+
+    def needs_pack(self) -> bool:
+        """Strided types must be packed before a 0-copy send."""
+        return not self.contiguous
+
+
+BYTE = Datatype("MPI_BYTE", 1, 1)
+CHAR = Datatype("MPI_CHAR", 1, 1)
+INT = Datatype("MPI_INT", 4, 4)
+FLOAT = Datatype("MPI_FLOAT", 4, 4)
+DOUBLE = Datatype("MPI_DOUBLE", 8, 8)
+
+
+def contiguous(count: int, base: Datatype, name: str = "") -> Datatype:
+    """MPI_Type_contiguous."""
+    if count < 0:
+        raise ValueError("negative count")
+    return Datatype(
+        name or f"contig({count},{base.name})",
+        size=base.size * count,
+        extent=base.extent * count,
+        contiguous=base.contiguous,
+    )
+
+
+def vector(count: int, blocklength: int, stride: int, base: Datatype, name: str = "") -> Datatype:
+    """MPI_Type_vector: ``count`` blocks of ``blocklength`` elements,
+    ``stride`` elements apart."""
+    if count < 0 or blocklength < 0:
+        raise ValueError("negative count/blocklength")
+    if count > 0 and blocklength > stride:
+        raise ValueError("blocks overlap: blocklength > stride")
+    size = base.size * blocklength * count
+    if count == 0:
+        return Datatype(name or "vector(empty)", 0, 0, True)
+    extent = base.extent * (stride * (count - 1) + blocklength)
+    is_contig = base.contiguous and (stride == blocklength or count == 1)
+    return Datatype(
+        name or f"vector({count},{blocklength},{stride},{base.name})",
+        size=size,
+        extent=extent,
+        contiguous=is_contig,
+    )
+
+
+def indexed(blocks: Sequence[Tuple[int, int]], base: Datatype, name: str = "") -> Datatype:
+    """MPI_Type_indexed: ``(blocklength, displacement)`` pairs (in
+    elements)."""
+    if not blocks:
+        return Datatype(name or "indexed(empty)", 0, 0, True)
+    size = base.size * sum(bl for bl, _ in blocks)
+    last_end = max(disp + bl for bl, disp in blocks)
+    first = min(disp for _, disp in blocks)
+    extent = base.extent * (last_end - min(first, 0))
+    # Contiguous only if the blocks tile [0, n) exactly in order.
+    sorted_blocks = sorted(blocks, key=lambda b: b[1])
+    pos = 0
+    is_contig = base.contiguous
+    for bl, disp in sorted_blocks:
+        if disp != pos:
+            is_contig = False
+            break
+        pos += bl
+    return Datatype(name or f"indexed({len(blocks)},{base.name})", size, extent, is_contig)
+
+
+def struct(fields: Sequence[Tuple[int, Datatype]], name: str = "") -> Datatype:
+    """MPI_Type_struct (simplified: fields laid out in order, naturally
+    aligned to their extents)."""
+    if not fields:
+        return Datatype(name or "struct(empty)", 0, 0, True)
+    offset = 0
+    size = 0
+    is_contig = True
+    for count, dtype in fields:
+        if count < 0:
+            raise ValueError("negative field count")
+        align = max(dtype.extent, 1)
+        padded = (offset + align - 1) // align * align
+        if padded != offset or not dtype.contiguous:
+            is_contig = False
+        offset = padded + dtype.extent * count
+        size += dtype.size * count
+    if size != offset:
+        is_contig = False
+    return Datatype(name or f"struct({len(fields)})", size=size, extent=offset, contiguous=is_contig)

@@ -1,0 +1,76 @@
+"""MPI world construction.
+
+``build_world(cluster, transport=...)`` places one rank per node (the
+paper's configuration), wires the chosen transport, and runs each rank's
+program as a user process.  The runner collects per-rank return values —
+the moral equivalent of ``mpirun`` over the simulated cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..cluster import Cluster
+from ..config import MpiParams
+from ..protocols.tcpip import TcpIpStack
+from .api import RankContext
+from .transports import ClicTransport, TcpTransport, fresh_world_port
+
+__all__ = ["World", "build_world", "mpirun"]
+
+
+class World:
+    """An MPI_COMM_WORLD over the simulated cluster."""
+
+    def __init__(self, cluster: Cluster, transport: str = "clic"):
+        if transport not in ("clic", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.cluster = cluster
+        self.transport_kind = transport
+        self.params: MpiParams = cluster.cfg.mpi
+        self.size = len(cluster.nodes)
+        self._rank_to_node: Dict[int, int] = {r: r for r in range(self.size)}
+        self._node_to_rank: Dict[int, int] = {n: r for r, n in self._rank_to_node.items()}
+        self.ranks: List[RankContext] = []
+        self._build()
+
+    def _build(self) -> None:
+        procs = [self.cluster.nodes[n].spawn(f"rank{r}") for r, n in self._rank_to_node.items()]
+        if self.transport_kind == "clic":
+            port = fresh_world_port()
+            for rank, proc in enumerate(procs):
+                transport = ClicTransport(proc, rank, self._rank_to_node, port)
+                self.ranks.append(RankContext(self, rank, proc, transport))
+        else:
+            transports = [TcpTransport(proc, rank) for rank, proc in enumerate(procs)]
+            for a in range(self.size):
+                for b in range(a + 1, self.size):
+                    sock_a, sock_b = TcpIpStack.connect_pair(procs[a], procs[b])
+                    transports[a].connect(b, sock_a)
+                    transports[b].connect(a, sock_b)
+            for rank, proc in enumerate(procs):
+                self.ranks.append(RankContext(self, rank, proc, transports[rank]))
+
+    def node_to_rank(self, node_id: int) -> int:
+        """Rank living on the given node id."""
+        return self._node_to_rank[node_id]
+
+    def run(self, program: Callable[[RankContext], Generator], until: float = 120e9) -> List:
+        """Run ``program(ctx)`` on every rank; returns per-rank results."""
+        done = [ctx.proc.run(lambda p, c=ctx: program(c)) for ctx in self.ranks]
+        self.cluster.env.run(self.cluster.env.all_of(done))
+        return [d.value for d in done]
+
+
+def build_world(cluster: Cluster, transport: str = "clic") -> World:
+    """Create an MPI world over ``cluster`` with the chosen transport."""
+    return World(cluster, transport=transport)
+
+
+def mpirun(
+    cluster: Cluster,
+    program: Callable[[RankContext], Generator],
+    transport: str = "clic",
+) -> List:
+    """One-shot: build a world and run ``program`` on every rank."""
+    return build_world(cluster, transport).run(program)

@@ -1,0 +1,136 @@
+"""The vendor NIC driver — deliberately *unmodified*.
+
+CLIC's distinguishing design constraint (§1, §5): the protocol must work
+with stock drivers, unlike GAMMA which patches them.  The driver model
+therefore only does what a 2003 vendor driver does:
+
+* **transmit** — fill a ring descriptor from an ``SK_BUFF`` (possibly
+  scatter/gather over user pages) and tell the protocol module whether
+  the send was accepted (ring full -> CLIC stages in system memory);
+* **receive** — in interrupt context, allocate an ``sk_buff``, keep the
+  CPU captive while the frame's bytes cross PCI into system memory, then
+  hand the buffer to the registered protocol through the bottom halves.
+
+The Figure 8(b) *direct dispatch* variant (kernel flag
+``direct_rx_dispatch``) models the paper's proposed improvement: the
+driver calls the protocol module in-line from the handler, skipping the
+sk_buff staging and the bottom-half hop.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..config import DriverParams
+from ..hw.cpu import PRIO_IRQ, PRIO_KERNEL
+from ..hw.nic import MacAddress, Nic, TxDescriptor
+from ..sim import Counters, Event
+from .kernel import Kernel
+from .skbuff import NIC_MEMORY, SYSTEM_MEMORY, USER_MEMORY, SkBuff
+
+__all__ = ["VendorDriver"]
+
+
+def _pkt_id(payload) -> Optional[int]:
+    return getattr(payload, "packet_id", None)
+
+
+class VendorDriver:
+    """Stock driver for one NIC on one node."""
+
+    def __init__(self, kernel: Kernel, nic: Nic, params: DriverParams, name: str = "eth0"):
+        self.kernel = kernel
+        self.nic = nic
+        self.params = params
+        self.name = name
+        self.counters = Counters()
+        if nic.rx_deliver == "irq-pull":
+            nic.irq_callback = self._on_irq
+
+    # ------------------------------------------------------------------
+    # transmit
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        skb: SkBuff,
+        dst: MacAddress,
+        ethertype: int,
+        on_wire: Optional[Event] = None,
+    ) -> Generator:
+        """Try to hand ``skb`` to the NIC; returns True if accepted.
+
+        Runs in the caller's (kernel) context; charges the driver's tx
+        entry cost either way — a full ring is discovered *inside* the
+        driver (§3.1: "the driver ... finishes indicating to _MODULE if
+        it is possible or not to send the data").
+        """
+        yield from self.kernel.cpu.execute(self.params.tx_call_ns, PRIO_KERNEL, label="drv_tx")
+        desc = TxDescriptor(
+            dst=dst,
+            ethertype=ethertype,
+            payload_bytes=skb.total_bytes(),
+            payload=skb.payload,
+            from_user_memory=skb.is_zero_copy,
+            on_wire=on_wire,
+        )
+        accepted = self.nic.try_post_tx(desc)
+        if accepted:
+            self.counters.add("tx_accepted")
+            self.kernel.trace.record(
+                self.kernel.env.now, self.name, "driver_tx",
+                pkt=_pkt_id(skb.payload), nbytes=skb.total_bytes(),
+            )
+        else:
+            self.counters.add("tx_ring_busy")
+        return accepted
+
+    # ------------------------------------------------------------------
+    # receive (interrupt context)
+    # ------------------------------------------------------------------
+    def _on_irq(self) -> None:
+        self.kernel.irq.raise_irq(self._irq_handler, label=f"{self.name}.rx")
+
+    def _irq_handler(self) -> Generator:
+        env = self.kernel.env
+        cpu = self.kernel.cpu
+        direct = self.kernel.params.direct_rx_dispatch
+        self.counters.add("rx_irqs")
+        self.kernel.trace.record(env.now, self.name, "irq_begin")
+        yield from cpu.execute(self.params.irq_overhead_ns, PRIO_IRQ, label="drv_irq")
+        drained = 0
+        while self.nic.rx_pending() and drained < self.params.rx_budget_per_irq:
+            t0 = env.now
+            if direct:
+                # Figure 8(b): no sk_buff staging; DMA lands where the
+                # module directs (user memory if a receiver waits).
+                rx = yield from cpu.occupy(self.nic.dma_frame_to_host(), PRIO_IRQ, label="drv_rx_dma")
+                skb = SkBuff(
+                    payload_bytes=rx.frame.payload_bytes,
+                    fragments=[(SYSTEM_MEMORY, rx.frame.payload_bytes)] if rx.frame.payload_bytes else [],
+                    payload=rx.frame.payload,
+                    direct_delivery=True,
+                )
+                self.kernel.trace.record(
+                    env.now, self.name, "driver_rx",
+                    pkt=_pkt_id(rx.frame.payload), t0=t0, nbytes=rx.frame.payload_bytes,
+                )
+                yield from self.kernel.direct_rx(rx.frame.ethertype, skb)
+            else:
+                # Stock path: allocate sk_buff, move NIC -> system memory
+                # with the CPU captive, defer protocol work to a BH.
+                yield from cpu.execute(self.params.rx_per_frame_ns, PRIO_IRQ, label="drv_rx_skb")
+                rx = yield from cpu.occupy(self.nic.dma_frame_to_host(), PRIO_IRQ, label="drv_rx_dma")
+                skb = SkBuff(
+                    payload_bytes=rx.frame.payload_bytes,
+                    fragments=[(SYSTEM_MEMORY, rx.frame.payload_bytes)] if rx.frame.payload_bytes else [],
+                    payload=rx.frame.payload,
+                )
+                self.kernel.trace.record(
+                    env.now, self.name, "driver_rx",
+                    pkt=_pkt_id(rx.frame.payload), t0=t0, nbytes=rx.frame.payload_bytes,
+                )
+                self.kernel.deliver_rx(rx.frame.ethertype, skb, in_irq_context=True)
+            drained += 1
+        self.counters.add("rx_frames", drained)
+        self.kernel.trace.record(env.now, self.name, "irq_end", drained=drained)
+        self.nic.irq_service_done()

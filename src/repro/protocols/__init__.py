@@ -1,0 +1,32 @@
+"""Protocol stacks: CLIC (the contribution), TCP/IP (baseline), GAMMA and
+VIA (comparators), plus shared wire formats and reliability machinery."""
+
+from .clic import ClicEndpoint, ClicMessage, ClicModule
+from .gamma import GammaLayer, GammaMessage
+from .headers import ClicAck, ClicPacket, ClicPacketType, GammaPacket, TcpSegment, ViaPacket
+from .reliability import DeliveryFailed, OrderedReceiver, WindowedSender
+from .tcpip import TcpIpStack, TcpSocket, UdpSocket
+from .via import ViaMessage, ViaNic, VirtualInterface
+
+__all__ = [
+    "ClicAck",
+    "ClicEndpoint",
+    "ClicMessage",
+    "ClicModule",
+    "ClicPacket",
+    "ClicPacketType",
+    "DeliveryFailed",
+    "GammaLayer",
+    "GammaMessage",
+    "GammaPacket",
+    "OrderedReceiver",
+    "TcpIpStack",
+    "TcpSegment",
+    "TcpSocket",
+    "UdpSocket",
+    "ViaMessage",
+    "ViaNic",
+    "ViaPacket",
+    "VirtualInterface",
+    "WindowedSender",
+]

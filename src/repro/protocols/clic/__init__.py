@@ -1,0 +1,14 @@
+"""CLIC: the paper's lightweight kernel-level protocol."""
+
+from .api import ClicEndpoint
+from .control import ClicControl, EchoStats
+from .module import ClicMessage, ClicModule, RemoteRegion
+
+__all__ = [
+    "ClicControl",
+    "ClicEndpoint",
+    "ClicMessage",
+    "ClicModule",
+    "EchoStats",
+    "RemoteRegion",
+]

@@ -1,0 +1,608 @@
+"""CLIC_MODULE — the in-kernel protocol engine.
+
+This is the paper's contribution (§3.1).  The module lives inside the
+kernel; user processes reach it through one system call per operation.
+On **send** it composes the 14 B Ethernet + 12 B CLIC headers, fills an
+``SK_BUFF`` (scatter/gather over the *user* pages when the NIC supports
+it — the Gigabit 0-copy path), and calls the unmodified driver.  If the
+driver reports the NIC busy, the data is copied once into system memory
+(that copy overlaps other traffic) and a backlog pump retries.  On
+**receive** the module runs from the bottom halves (or directly from the
+IRQ handler when the Figure 8(b) improvement is enabled), decodes the
+packet type, and either copies the data straight into the memory of a
+waiting process / remote-write region or parks it in system memory until
+a ``recv`` arrives.
+
+Reliability (sliding window, cumulative acks, retransmission) is per
+peer-node channel; §5's extra features — same-node delivery, Ethernet
+broadcast, send-with-confirmation, kernel-function packets, channel
+bonding over several NICs — are all here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ...config import ClicParams
+from ...hw.cpu import PRIO_KERNEL, PRIO_SOFTIRQ
+from ...hw.nic import BROADCAST, EtherType, MacAddress
+from ...oskernel import SkBuff
+from ...sim import Counters, Environment, Event, Store
+from ..headers import ClicAck, ClicPacket, ClicPacketType
+from ..reliability import OrderedReceiver, WindowedSender
+
+__all__ = ["ClicModule", "ClicMessage", "RemoteRegion"]
+
+ETH_HEADER = 14
+
+
+@dataclass
+class ClicMessage:
+    """A complete message as handed to the application."""
+
+    src_node: int
+    port: int
+    tag: int
+    nbytes: int
+    msg_id: int
+    payload: Any = None
+    remote_write: bool = False
+    completed_at: float = 0.0
+    #: True once the payload sits in the receiving process's memory
+    in_user_memory: bool = False
+
+
+@dataclass
+class RemoteRegion:
+    """A user-memory window registered for asynchronous remote writes."""
+
+    port: int
+    size: int
+    bytes_written: int = 0
+    #: events to succeed as messages complete
+    waiters: List[Event] = field(default_factory=list)
+    completed_messages: int = 0
+    #: completions not yet observed by a waiter (so notifications are
+    #: never lost when writes finish while nobody is waiting)
+    unclaimed: List["ClicMessage"] = field(default_factory=list)
+
+
+@dataclass
+class _Partial:
+    """A message being reassembled from fragments."""
+
+    src_node: int
+    port: int
+    tag: int
+    msg_id: int
+    msg_bytes: int
+    received: int = 0
+    #: receiver already bound: fragments are copied to user memory on arrival
+    bound_waiter: Optional[Event] = None
+    remote_write: bool = False
+    payload: Any = None
+
+
+class _PortState:
+    def __init__(self) -> None:
+        self.ready: List[ClicMessage] = []
+        self.waiters: List[Tuple[Callable[[ClicMessage], bool], Event]] = []
+        self.region: Optional[RemoteRegion] = None
+
+
+class ClicModule:
+    """One node's CLIC kernel module."""
+
+    def __init__(self, node):
+        self.node = node
+        self.env: Environment = node.env
+        self.params: ClicParams = node.cfg.clic
+        self.kernel = node.kernel
+        self.counters = Counters()
+        self._msg_ids = itertools.count(1)
+
+        self._senders: Dict[int, WindowedSender] = {}
+        self._receivers: Dict[int, OrderedReceiver] = {}
+        self._ports: Dict[int, _PortState] = {}
+        self._partials: Dict[Tuple[int, int], _Partial] = {}
+        self._rx_ready: List[ClicPacket] = []  # fragments released in-order
+        self._kernel_fns: Dict[int, Callable] = {}
+        self._bond_rr = 0  # round-robin channel-bonding cursor
+
+        #: staged (system-memory) sends waiting for NIC ring space
+        self._backlog: Store = Store(self.env, name=f"{node.name}.clic.backlog")
+        self.env.process(self._backlog_pump(), name=f"{node.name}.clic.pump")
+
+        self.kernel.register_protocol(EtherType.CLIC, self._rx_entry)
+
+    # ------------------------------------------------------------------
+    # configuration helpers
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    #: descriptor size handed to a fragmentation-offload NIC (§2 / future
+    #: work): the module sends super-packets and the firmware splits them
+    OFFLOAD_CHUNK = 64 * 1024
+
+    def max_fragment(self) -> int:
+        """User bytes per software fragment.
+
+        Normally MTU minus the CLIC header; with on-NIC fragmentation
+        (the paper's declined-for-portability optimisation, modeled as
+        ABL-FRAG) the module posts much larger descriptors and the NIC
+        firmware does the MTU split/reassembly, saving per-fragment
+        module + driver + interrupt work.
+        """
+        if self.node.nics[0].params.supports_fragmentation:
+            return self.OFFLOAD_CHUNK - self.params.header_bytes
+        return self.node.mtu() - self.params.header_bytes
+
+    def port(self, number: int) -> _PortState:
+        """The port's state record (created on first use)."""
+        state = self._ports.get(number)
+        if state is None:
+            state = self._ports[number] = _PortState()
+        return state
+
+    def _sender(self, dst_node: int) -> WindowedSender:
+        sender = self._senders.get(dst_node)
+        if sender is None:
+            sender = WindowedSender(
+                self.env,
+                window=self.params.window_frames,
+                retransmit_timeout_ns=self.params.retransmit_timeout_ns,
+                max_retries=self.params.max_retries,
+                retransmit=lambda packets, d=dst_node: self._retransmit(d, packets),
+                name=f"{self.node.name}.clic.tx->{dst_node}",
+            )
+            self._senders[dst_node] = sender
+        return sender
+
+    def _receiver(self, src_node: int) -> OrderedReceiver:
+        receiver = self._receivers.get(src_node)
+        if receiver is None:
+            receiver = OrderedReceiver(
+                self.env,
+                deliver=self._rx_ready.append,
+                send_ack=lambda cum, s=src_node: self._emit_ack(s, cum),
+                ack_every=self.params.ack_every,
+                ack_delay_ns=self.params.ack_delay_ns,
+                name=f"{self.node.name}.clic.rx<-{src_node}",
+            )
+            self._receivers[src_node] = receiver
+        return receiver
+
+    # ------------------------------------------------------------------
+    # send path (runs in kernel context, inside the caller's syscall)
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst_node: int,
+        port: int,
+        nbytes: int,
+        tag: int = 0,
+        ptype: ClicPacketType = ClicPacketType.DATA,
+        payload: Any = None,
+        remote_write: bool = False,
+    ) -> Generator:
+        """Reliable message send; returns (msg_id) once all fragments are
+        handed off to the NIC or staged in system memory."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        if dst_node == self.node_id:
+            result = yield from self._send_local(port, nbytes, tag, payload)
+            return result
+        msg_id = next(self._msg_ids)
+        sender = self._sender(dst_node)
+        if remote_write:
+            ptype = ClicPacketType.REMOTE_WRITE
+        frag_max = self.max_fragment()
+        offset = 0
+        while True:
+            frag = min(frag_max, nbytes - offset)
+            yield from sender.reserve()
+            pkt = ClicPacket(
+                ptype=ptype,
+                src_node=self.node_id,
+                dst_node=dst_node,
+                port=port,
+                msg_id=msg_id,
+                seq=0,  # assigned at register
+                frag_offset=offset,
+                frag_bytes=frag,
+                msg_bytes=nbytes,
+                tag=tag,
+                payload=payload,
+            )
+            pkt.seq = sender.register(pkt)
+            yield from self._tx_packet(pkt)
+            offset += frag
+            if offset >= nbytes:
+                break
+        self.counters.add("msgs_sent")
+        self.counters.add("bytes_sent", nbytes)
+        return msg_id
+
+    def flush(self, dst_node: int) -> Generator:
+        """Wait until every packet sent to ``dst_node`` is acknowledged
+        (the §5 "send with confirmation of reception" primitive)."""
+        if dst_node == self.node_id:
+            return
+        yield from self._sender(dst_node).drain()
+
+    def broadcast(self, port: int, nbytes: int, tag: int = 0, payload: Any = None) -> Generator:
+        """Ethernet data-link broadcast (unreliable, §5)."""
+        msg_id = next(self._msg_ids)
+        frag_max = self.max_fragment()
+        offset = 0
+        while True:
+            frag = min(frag_max, nbytes - offset)
+            pkt = ClicPacket(
+                ptype=ClicPacketType.BCAST,
+                src_node=self.node_id,
+                dst_node=-1,
+                port=port,
+                msg_id=msg_id,
+                seq=0,
+                frag_offset=offset,
+                frag_bytes=frag,
+                msg_bytes=nbytes,
+                tag=tag,
+                payload=payload,
+            )
+            yield from self._tx_packet(pkt, dst_mac=BROADCAST)
+            offset += frag
+            if offset >= nbytes:
+                break
+        self.counters.add("bcasts_sent")
+        return msg_id
+
+    def send_kernel_fn(self, dst_node: int, fn_id: int, nbytes: int = 0) -> Generator:
+        """Invoke a registered kernel function on ``dst_node`` (§3.1's
+        "kernel function packet" class)."""
+        yield from self.send(
+            dst_node, port=0, nbytes=nbytes, tag=fn_id, ptype=ClicPacketType.KERNEL_FN
+        )
+
+    def register_kernel_fn(self, fn_id: int, handler: Callable[[ClicPacket], Generator]) -> None:
+        """Install a kernel-function handler for ``fn_id``."""
+        if fn_id in self._kernel_fns:
+            raise ValueError(f"kernel fn {fn_id} already registered")
+        self._kernel_fns[fn_id] = handler
+
+    # -- transmission mechanics ----------------------------------------------
+    def _wire_bytes(self, pkt: ClicPacket) -> int:
+        return self.params.header_bytes + pkt.frag_bytes
+
+    def _tx_packet(self, pkt: ClicPacket, dst_mac: Optional[MacAddress] = None) -> Generator:
+        """Compose headers + SK_BUFF, call the driver; stage on refusal."""
+        cpu = self.kernel.cpu
+        yield from cpu.execute(self.params.module_tx_ns, PRIO_KERNEL, label="clic_tx")
+        zero_copy = self.params.zero_copy and self.node.nic_supports_sg()
+        driver, mac = self._route(pkt, dst_mac)
+        if zero_copy:
+            skb = SkBuff.for_user_payload(pkt.frag_bytes, payload=pkt)
+        else:
+            # Fast Ethernet-era path: one copy user -> system memory first.
+            yield from self.kernel.copy_user_to_system(pkt.frag_bytes)
+            skb = SkBuff.for_system_payload(pkt.frag_bytes, payload=pkt)
+        skb.push_header("clic", self.params.header_bytes)
+        accepted = yield from driver.transmit(skb, mac, EtherType.CLIC)
+        if accepted:
+            self.counters.add("pkts_tx")
+            return
+        # NIC busy: stage in system memory (the copy overlaps other
+        # traffic; §3.1) and let the pump retry.
+        if skb.is_zero_copy:
+            yield from self.kernel.copy_user_to_system(pkt.frag_bytes)
+            skb.relocate("system")
+            self.counters.add("staged_copies")
+        self.counters.add("pkts_staged")
+        self._backlog.put((skb, mac))
+
+    def _route(self, pkt: ClicPacket, dst_mac: Optional[MacAddress]):
+        """Pick (driver, dst MAC) — round-robin across bonded channels."""
+        drivers = self.node.drivers
+        if dst_mac is not None and dst_mac.is_broadcast:
+            return drivers[0], dst_mac
+        channel = self._bond_rr % len(drivers)
+        self._bond_rr += 1
+        mac = self.node.mac_of(pkt.dst_node, channel)
+        return drivers[channel], mac
+
+    def _backlog_pump(self) -> Generator:
+        """Retry staged packets as NIC ring space frees up."""
+        while True:
+            skb, mac = yield self._backlog.get()
+            while True:
+                driver = self.node.drivers[self._bond_rr % len(self.node.drivers)]
+                accepted = yield from driver.transmit(skb, mac, EtherType.CLIC)
+                if accepted:
+                    self.counters.add("pkts_tx_from_backlog")
+                    break
+                yield self.env.timeout(5_000.0)  # ring still full; retry soon
+
+    def _retransmit(self, dst_node: int, packets: List[ClicPacket]) -> None:
+        """WindowedSender timeout callback: re-emit in a kernel process."""
+
+        def _do() -> Generator:
+            for pkt in packets:
+                self.counters.add("pkts_retx")
+                yield from self._tx_packet(pkt)
+
+        self.env.process(_do(), name=f"{self.node.name}.clic.retx")
+
+    def _emit_ack(self, dst_node: int, cumulative_seq: int) -> None:
+        """OrderedReceiver callback: send a cumulative ack packet."""
+
+        def _do() -> Generator:
+            cpu = self.kernel.cpu
+            yield from cpu.execute(self.params.module_tx_ns / 2, PRIO_SOFTIRQ, label="clic_ack_tx")
+            ack = ClicAck(src_node=self.node_id, dst_node=dst_node, cumulative_seq=cumulative_seq)
+            skb = SkBuff.for_system_payload(ClicAck.WIRE_BYTES, payload=ack)
+            skb.push_header("clic", self.params.header_bytes)
+            driver, mac = self.node.drivers[0], self.node.mac_of(dst_node, 0)
+            accepted = yield from driver.transmit(skb, mac, EtherType.CLIC)
+            if not accepted:
+                self._backlog.put((skb, mac))
+            self.counters.add("acks_tx")
+
+        self.env.process(_do(), name=f"{self.node.name}.clic.ack")
+
+    # ------------------------------------------------------------------
+    # receive path (bottom-half or direct-IRQ context)
+    # ------------------------------------------------------------------
+    def _rx_entry(self, skb: SkBuff) -> Generator:
+        cpu = self.kernel.cpu
+        yield from cpu.execute(self.params.module_rx_ns, PRIO_SOFTIRQ, label="clic_rx")
+        item = skb.payload
+        if isinstance(item, ClicAck):
+            self._sender(item.src_node).on_ack(item.cumulative_seq)
+            self.counters.add("acks_rx")
+            return
+        if not isinstance(item, ClicPacket):
+            # Malformed frame on our ethertype (corrupted peer, fuzzing):
+            # the module must survive it — protection is a design goal.
+            self.counters.add("rx_malformed")
+            return
+        pkt: ClicPacket = item
+        self.kernel.trace.record(
+            self.env.now, f"{self.node.name}.clic", "module_rx",
+            pkt=pkt.packet_id, nbytes=pkt.frag_bytes,
+        )
+        pkt._direct_delivery = skb.direct_delivery  # Figure 8(b) path
+        if pkt.ptype is ClicPacketType.BCAST:
+            self._rx_ready.append(pkt)  # unreliable: no sequencing
+        else:
+            self._receiver(pkt.src_node).on_packet(pkt.seq, pkt)
+        # Process fragments released in order by the receiver machinery.
+        while self._rx_ready:
+            fragment = self._rx_ready.pop(0)
+            yield from self._consume_fragment(fragment)
+
+    def _consume_fragment(self, pkt: ClicPacket) -> Generator:
+        self.counters.add("pkts_rx")
+        key = (pkt.src_node, pkt.msg_id)
+        partial = self._partials.get(key)
+        if partial is None:
+            partial = _Partial(
+                src_node=pkt.src_node,
+                port=pkt.port,
+                tag=pkt.tag,
+                msg_id=pkt.msg_id,
+                msg_bytes=pkt.msg_bytes,
+                remote_write=pkt.ptype is ClicPacketType.REMOTE_WRITE,
+                payload=pkt.payload,
+            )
+            self._partials[key] = partial
+            if not partial.remote_write and pkt.ptype is not ClicPacketType.KERNEL_FN:
+                self._bind_waiter(partial)
+
+        direct = getattr(pkt, "_direct_delivery", False)
+        if partial.remote_write:
+            # Asynchronous remote write: straight to the registered user
+            # region, no receive call needed (§3.1 step 7).  On the
+            # Figure 8(b) path the DMA already targeted the region.
+            if not direct:
+                yield from self.kernel.copy_system_to_user(pkt.frag_bytes, PRIO_SOFTIRQ)
+            region = self.port(pkt.port).region
+            if region is not None:
+                region.bytes_written += pkt.frag_bytes
+        elif partial.bound_waiter is not None and direct:
+            # Figure 8(b): the module directed the DMA straight into the
+            # waiting process's buffer — no staging copy at all.
+            self.counters.add("direct_user_deliveries")
+        elif partial.bound_waiter is not None:
+            # A process is already waiting: move the fragment into its
+            # memory right away.
+            yield from self.kernel.copy_system_to_user(pkt.frag_bytes, PRIO_SOFTIRQ)
+
+        partial.received += pkt.frag_bytes
+        if partial.received < partial.msg_bytes or (partial.msg_bytes == 0 and not pkt.is_last_fragment):
+            return
+        # Message complete.
+        del self._partials[key]
+        if pkt.ptype is ClicPacketType.KERNEL_FN:
+            handler = self._kernel_fns.get(pkt.tag)
+            if handler is None:
+                self.counters.add("kernel_fn_unknown")
+            else:
+                yield from handler(pkt)
+            return
+        message = ClicMessage(
+            src_node=partial.src_node,
+            port=partial.port,
+            tag=partial.tag,
+            nbytes=partial.msg_bytes,
+            msg_id=partial.msg_id,
+            payload=partial.payload,
+            remote_write=partial.remote_write,
+            completed_at=self.env.now,
+            in_user_memory=partial.bound_waiter is not None or partial.remote_write,
+        )
+        self.counters.add("msgs_rx")
+        self.counters.add("bytes_rx", message.nbytes)
+        if partial.remote_write:
+            region = self.port(message.port).region
+            if region is not None:
+                region.completed_messages += 1
+                if region.waiters:
+                    region.waiters.pop(0).succeed(message)
+                else:
+                    region.unclaimed.append(message)
+            return
+        if partial.bound_waiter is not None:
+            partial.bound_waiter.succeed(message)
+            return
+        # A receiver may have blocked *after* the first fragment arrived
+        # (so no waiter was bound then): match again at completion.
+        state = self.port(message.port)
+        for idx, (match, event) in enumerate(state.waiters):
+            if match(message):
+                state.waiters.pop(idx)
+                event.succeed(message)
+                return
+        state.ready.append(message)
+
+    def _bind_waiter(self, partial: _Partial) -> None:
+        """Attach the first matching blocked receiver to this message."""
+        state = self.port(partial.port)
+        probe = ClicMessage(
+            src_node=partial.src_node,
+            port=partial.port,
+            tag=partial.tag,
+            nbytes=partial.msg_bytes,
+            msg_id=partial.msg_id,
+        )
+        for idx, (match, event) in enumerate(state.waiters):
+            if match(probe):
+                state.waiters.pop(idx)
+                partial.bound_waiter = event
+                return
+
+    # ------------------------------------------------------------------
+    # receive API (kernel context, inside the caller's syscall)
+    # ------------------------------------------------------------------
+    def recv(
+        self,
+        port: int,
+        tag: Optional[int] = None,
+        src: Optional[int] = None,
+        block: bool = True,
+    ) -> Generator:
+        """Receive a message on ``port``; returns a :class:`ClicMessage`.
+
+        Non-blocking flavour returns ``None`` immediately when nothing
+        matches ("_MODULE does nothing and returns", §3.1).
+        """
+
+        def match(msg: ClicMessage) -> bool:
+            return (tag is None or msg.tag == tag) and (src is None or msg.src_node == src)
+
+        state = self.port(port)
+        for idx, msg in enumerate(state.ready):
+            if match(msg):
+                state.ready.pop(idx)
+                if not msg.in_user_memory:
+                    yield from self.kernel.copy_system_to_user(msg.nbytes)
+                    msg.in_user_memory = True
+                self.counters.add("recv_immediate")
+                return msg
+        if not block:
+            self.counters.add("recv_would_block")
+            return None
+        event = self.env.event()
+        state.waiters.append((match, event))
+        self.counters.add("recv_blocked")
+        msg = yield from self.kernel.block_on(event, label=f"recv:{port}")
+        if not msg.in_user_memory:
+            # Bound only at completion: the data was parked in system
+            # memory fragment by fragment; move it out now.
+            yield from self.kernel.copy_system_to_user(msg.nbytes)
+            msg.in_user_memory = True
+        return msg
+
+    def probe(
+        self,
+        port: int,
+        tag: Optional[int] = None,
+        src: Optional[int] = None,
+    ) -> Optional[ClicMessage]:
+        """Non-consuming match test: the first complete ready message
+        matching (tag, src), or ``None``.  The message stays queued (the
+        MPI_Iprobe building block)."""
+
+        def match(msg: ClicMessage) -> bool:
+            return (tag is None or msg.tag == tag) and (src is None or msg.src_node == src)
+
+        for msg in self.port(port).ready:
+            if match(msg):
+                return msg
+        return None
+
+    # -- remote-write regions -------------------------------------------------
+    def register_region(self, port: int, size: int) -> RemoteRegion:
+        """Expose ``size`` bytes of the caller's memory for remote writes."""
+        state = self.port(port)
+        if state.region is not None:
+            raise ValueError(f"port {port} already has a remote-write region")
+        state.region = RemoteRegion(port=port, size=size)
+        return state.region
+
+    def wait_remote_write(self, port: int) -> Generator:
+        """Block until the next remote-write message completes."""
+        region = self.port(port).region
+        if region is None:
+            raise ValueError(f"port {port} has no remote-write region")
+        if region.unclaimed:
+            return region.unclaimed.pop(0)
+        event = self.env.event()
+        region.waiters.append(event)
+        msg = yield from self.kernel.block_on(event, label=f"rwrite:{port}")
+        return msg
+
+    # ------------------------------------------------------------------
+    # same-node delivery (§5: "communication between processes running
+    # on the same processor", which many rival layers cannot do)
+    # ------------------------------------------------------------------
+    def _send_local(self, port: int, nbytes: int, tag: int, payload: Any) -> Generator:
+        msg_id = next(self._msg_ids)
+        yield from self.kernel.cpu.execute(self.params.module_tx_ns, PRIO_KERNEL, label="clic_local")
+        message = ClicMessage(
+            src_node=self.node_id,
+            port=port,
+            tag=tag,
+            nbytes=nbytes,
+            msg_id=msg_id,
+            payload=payload,
+            completed_at=self.env.now,
+        )
+        state = self.port(port)
+        for idx, (match, event) in enumerate(state.waiters):
+            if match(message):
+                state.waiters.pop(idx)
+                # Single kernel-mediated copy, sender memory -> receiver memory.
+                yield from self.kernel.copy_user_to_user(nbytes)
+                message.in_user_memory = True
+                message.completed_at = self.env.now
+                event.succeed(message)
+                self.counters.add("local_direct")
+                return msg_id
+        # Nobody waiting: stage in system memory; recv() will copy out.
+        yield from self.kernel.copy_user_to_system(nbytes)
+        # A receiver may have blocked *during* the staging copy — re-check
+        # before parking the message, or its wakeup is lost.
+        for idx, (match, event) in enumerate(state.waiters):
+            if match(message):
+                state.waiters.pop(idx)
+                message.completed_at = self.env.now
+                event.succeed(message)
+                self.counters.add("local_direct")
+                return msg_id
+        state.ready.append(message)
+        self.counters.add("local_staged")
+        return msg_id

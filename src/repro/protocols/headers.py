@@ -1,0 +1,133 @@
+"""Wire-format definitions for the simulated protocol stacks.
+
+Packets are Python dataclasses riding inside :class:`~repro.hw.nic.Frame`
+payloads; their *sizes* (what the paper cares about) are accounted
+explicitly:
+
+* CLIC: 14 B Ethernet level-1 header + **12 B CLIC header** that encodes
+  the packet class ("an MPI packet, an internal packet, a kernel function
+  packet, etc." — §3.1) — nothing else.  No IP, no routing.
+* TCP/IP: 14 B Ethernet + 20 B IP + 20 B TCP.
+
+The CLIC header fields here are a faithful superset of what 12 bytes can
+encode (type, port, sequence, fragment accounting); Python object fields
+that exist only for simulation bookkeeping (``packet_id``, ``payload``)
+carry no modeled bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+__all__ = [
+    "ClicPacketType",
+    "ClicPacket",
+    "ClicAck",
+    "TcpSegment",
+    "GammaPacket",
+    "ViaPacket",
+]
+
+_packet_ids = itertools.count(1)
+
+
+class ClicPacketType(Enum):
+    """The packet classes the 2-byte CLIC type field distinguishes."""
+
+    DATA = "data"
+    MPI = "mpi"  # data carrying an MPI envelope
+    REMOTE_WRITE = "remote_write"
+    ACK = "ack"
+    INTERNAL = "internal"
+    KERNEL_FN = "kernel_fn"
+    BCAST = "bcast"
+
+
+@dataclass
+class ClicPacket:
+    """One CLIC packet (one Ethernet frame's worth)."""
+
+    ptype: ClicPacketType
+    src_node: int
+    dst_node: int
+    port: int
+    msg_id: int
+    seq: int  # per (src,dst) channel sequence number
+    frag_offset: int  # byte offset of this fragment in its message
+    frag_bytes: int  # payload bytes in this fragment
+    msg_bytes: int  # total message size
+    tag: int = 0
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def is_last_fragment(self) -> bool:
+        return self.frag_offset + self.frag_bytes >= self.msg_bytes
+
+
+@dataclass
+class ClicAck:
+    """Cumulative acknowledgment (an INTERNAL packet)."""
+
+    src_node: int
+    dst_node: int
+    cumulative_seq: int  # all seq < this are acknowledged
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: modeled bytes of ack info riding after the CLIC header
+    WIRE_BYTES = 8
+
+
+@dataclass
+class TcpSegment:
+    """One TCP segment (simplified: byte-stream with segment seq)."""
+
+    src_node: int
+    dst_node: int
+    conn_id: int
+    seq: int  # segment index within the connection
+    data_bytes: int
+    is_ack: bool = False
+    ack_seq: int = 0
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+
+@dataclass
+class GammaPacket:
+    """GAMMA active-port packet (comparator model)."""
+
+    src_node: int
+    dst_node: int
+    port: int
+    msg_id: int
+    frag_offset: int
+    frag_bytes: int
+    msg_bytes: int
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def is_last_fragment(self) -> bool:
+        return self.frag_offset + self.frag_bytes >= self.msg_bytes
+
+
+@dataclass
+class ViaPacket:
+    """VIA packet: delivered to a VI's receive queue, unreliable."""
+
+    src_node: int
+    dst_node: int
+    vi_id: int
+    msg_id: int
+    frag_offset: int
+    frag_bytes: int
+    msg_bytes: int
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def is_last_fragment(self) -> bool:
+        return self.frag_offset + self.frag_bytes >= self.msg_bytes

@@ -1,0 +1,286 @@
+"""Reliable, in-order delivery over an unreliable frame service.
+
+CLIC is "a reliable transport protocol" (§3.1) — the gap between what
+Ethernet guarantees (nothing: frames can be dropped by full NIC rings or
+switch queues) and what MPI needs (in-order, exactly-once) is closed
+here, once, and reused by both the CLIC module and the simplified TCP
+model:
+
+* :class:`WindowedSender` — sliding window with cumulative acks,
+  go-back-N retransmission on timeout, bounded retries; blocks producers
+  when the window is full (back-pressure all the way to the user's
+  ``send``).
+* :class:`OrderedReceiver` — in-order delivery with a bounded
+  out-of-order stash (so slight reordering from channel bonding does not
+  trigger spurious retransmission storms), duplicate suppression, and a
+  configurable cumulative-ack cadence.
+
+Both sides are transport-agnostic: they call back into their owner to
+actually emit packets/acks, so the full cost of every retransmission and
+ack (CPU, PCI, wire) is charged through the normal send path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..sim import Counters, Environment, Event
+
+__all__ = ["WindowedSender", "OrderedReceiver", "DeliveryFailed"]
+
+
+class DeliveryFailed(Exception):
+    """Raised when a packet exhausts its retransmission budget."""
+
+
+class WindowedSender:
+    """Per-destination sliding-window sender state.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    window:
+        Maximum unacknowledged packets in flight.
+    retransmit_timeout_ns:
+        Go-back-N timer.
+    max_retries:
+        Rounds of retransmission before declaring the peer dead.
+    retransmit:
+        Callback ``(packets: list) -> None`` that re-emits the given
+        in-flight packets (owner schedules the actual sends).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        window: int,
+        retransmit_timeout_ns: float,
+        max_retries: int,
+        retransmit: Callable[[List[Any]], None],
+        name: str = "sender",
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.env = env
+        self.window = window
+        self.timeout_ns = retransmit_timeout_ns
+        self.max_retries = max_retries
+        self.retransmit = retransmit
+        self.name = name
+        self.counters = Counters()
+
+        self.next_seq = 0
+        self.base = 0  # lowest unacked seq
+        self._in_flight: Dict[int, Any] = {}
+        self._window_waiters: List[Event] = []
+        self._drained_waiters: List[Event] = []
+        self._timer_generation = 0
+        self._retries = 0
+        self._failed: Optional[DeliveryFailed] = None
+        #: optional congestion-control hooks (TCP wires these up):
+        #: called with the number of newly acked packets / on RTO /
+        #: when fast retransmit triggers.
+        self.ack_listener: Optional[Callable[[int], None]] = None
+        self.timeout_listener: Optional[Callable[[], None]] = None
+        self.fast_retransmit_listener: Optional[Callable[[], None]] = None
+        #: duplicate cumulative acks before fast retransmit (0 = off)
+        self.dupack_threshold = 0
+        self._dupacks = 0
+
+    # -- producer side ---------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    def window_full(self) -> bool:
+        """True when no more packets may enter the network."""
+        return self.in_flight >= self.window
+
+    def reserve(self) -> Generator:
+        """Block (as a generator) until there is window space."""
+        self._check_failed()
+        while self.window_full():
+            event = self.env.event()
+            self._window_waiters.append(event)
+            self.counters.add("window_stalls")
+            yield event
+            self._check_failed()
+
+    def register(self, packet: Any) -> int:
+        """Assign the next sequence number to ``packet`` and track it.
+
+        The caller must have reserved window space; the packet object is
+        retained for retransmission until acknowledged.
+        """
+        self._check_failed()
+        if self.window_full():
+            raise RuntimeError(f"{self.name}: register() without window space")
+        seq = self.next_seq
+        self.next_seq += 1
+        self._in_flight[seq] = packet
+        self.counters.add("registered")
+        if len(self._in_flight) == 1:
+            self._start_timer()
+        return seq
+
+    def drain(self) -> Generator:
+        """Block until everything sent so far is acknowledged."""
+        self._check_failed()
+        while self._in_flight:
+            event = self.env.event()
+            self._drained_waiters.append(event)
+            yield event
+            self._check_failed()
+
+    # -- ack side ----------------------------------------------------------
+    def on_ack(self, cumulative_seq: int) -> None:
+        """Process a cumulative ack: everything below ``cumulative_seq``."""
+        if cumulative_seq <= self.base:
+            self.counters.add("duplicate_acks")
+            self._dupacks += 1
+            if self.dupack_threshold and self._dupacks == self.dupack_threshold:
+                # Fast retransmit: resend the oldest unacked packet now.
+                if self.base in self._in_flight:
+                    self.counters.add("fast_retransmits")
+                    if self.fast_retransmit_listener is not None:
+                        self.fast_retransmit_listener()
+                    self._start_timer()
+                    self.retransmit([self._in_flight[self.base]])
+            return
+        acked = cumulative_seq - self.base
+        self._dupacks = 0
+        for seq in range(self.base, cumulative_seq):
+            self._in_flight.pop(seq, None)
+        self.base = cumulative_seq
+        self._retries = 0
+        if self.ack_listener is not None:
+            self.ack_listener(acked)
+        self.counters.add("acked_through", cumulative_seq - self.counters.get("acked_through"))
+        if self._in_flight:
+            self._start_timer()  # restart for the new oldest packet
+        else:
+            self._timer_generation += 1  # cancel
+            for event in self._drained_waiters:
+                event.succeed()
+            self._drained_waiters.clear()
+        # Wake window waiters that now fit.
+        while self._window_waiters and not self.window_full():
+            self._window_waiters.pop(0).succeed()
+
+    # -- timer / retransmission ---------------------------------------------
+    def _start_timer(self) -> None:
+        self._timer_generation += 1
+        self.env.process(self._timer(self._timer_generation), name=f"{self.name}.rto")
+
+    def _timer(self, generation: int) -> Generator:
+        yield self.env.timeout(self.timeout_ns)
+        if generation != self._timer_generation or not self._in_flight:
+            return
+        self._retries += 1
+        if self._retries > self.max_retries:
+            self._fail()
+            return
+        self.counters.add("timeouts")
+        if self.timeout_listener is not None:
+            self.timeout_listener()
+        packets = [self._in_flight[s] for s in sorted(self._in_flight)]
+        self.counters.add("retransmitted", len(packets))
+        self._start_timer()
+        self.retransmit(packets)
+
+    def _fail(self) -> None:
+        self._failed = DeliveryFailed(
+            f"{self.name}: no ack after {self.max_retries} retries "
+            f"(base={self.base}, in flight={self.in_flight})"
+        )
+        self.counters.add("failed")
+        for event in self._window_waiters + self._drained_waiters:
+            event.fail(self._failed)
+        self._window_waiters.clear()
+        self._drained_waiters.clear()
+
+    def _check_failed(self) -> None:
+        if self._failed is not None:
+            raise self._failed
+
+
+class OrderedReceiver:
+    """Per-source in-order receive state with bounded reorder stash."""
+
+    def __init__(
+        self,
+        env: Environment,
+        deliver: Callable[[Any], None],
+        send_ack: Callable[[int], None],
+        ack_every: int = 1,
+        ack_delay_ns: float = 50_000.0,
+        stash_limit: int = 64,
+        name: str = "receiver",
+    ):
+        if ack_every < 1:
+            raise ValueError("ack_every must be >= 1")
+        self.env = env
+        self.deliver = deliver
+        self.send_ack = send_ack
+        self.ack_every = ack_every
+        self.ack_delay_ns = ack_delay_ns
+        self.stash_limit = stash_limit
+        self.name = name
+        self.counters = Counters()
+
+        self.expected = 0
+        self._stash: Dict[int, Any] = {}
+        self._unacked = 0
+        self._ack_timer_generation = 0
+
+    def on_packet(self, seq: int, packet: Any) -> None:
+        """Handle an arriving data packet with channel sequence ``seq``."""
+        if seq < self.expected:
+            # Duplicate (a retransmission we already have): re-ack so the
+            # sender's window can advance.
+            self.counters.add("duplicates")
+            self._emit_ack()
+            return
+        if seq == self.expected:
+            self.deliver(packet)
+            self.expected += 1
+            self._unacked += 1
+            # Drain any stashed successors.
+            while self.expected in self._stash:
+                self.deliver(self._stash.pop(self.expected))
+                self.expected += 1
+                self._unacked += 1
+            self.counters.add("delivered_in_order")
+            if self._unacked >= self.ack_every:
+                self._emit_ack()
+            else:
+                self._schedule_delayed_ack()
+            return
+        # Future packet: stash if room (tolerates bonding skew), else drop.
+        if len(self._stash) < self.stash_limit:
+            if seq not in self._stash:
+                self._stash[seq] = packet
+            self.counters.add("stashed")
+        else:
+            self.counters.add("stash_overflow_drops")
+        # Remind the sender where we are (acts like a duplicate ack).
+        self._emit_ack()
+
+    # -- ack cadence --------------------------------------------------------
+    def _emit_ack(self) -> None:
+        self._unacked = 0
+        self._ack_timer_generation += 1
+        self.counters.add("acks_sent")
+        self.send_ack(self.expected)
+
+    def _schedule_delayed_ack(self) -> None:
+        self._ack_timer_generation += 1
+        generation = self._ack_timer_generation
+        self.env.process(self._delayed_ack(generation), name=f"{self.name}.dack")
+
+    def _delayed_ack(self, generation: int) -> Generator:
+        yield self.env.timeout(self.ack_delay_ns)
+        if generation == self._ack_timer_generation and self._unacked:
+            self.counters.add("delayed_acks")
+            self._emit_ack()

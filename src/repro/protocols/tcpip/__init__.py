@@ -1,0 +1,19 @@
+"""TCP/IP baseline stack."""
+
+from .ip import IpDatagram, IpLayer
+from .sockets import TcpSocket, UdpSocket
+from .stack import TcpIpStack
+from .tcp import TcpConnection, TcpLayer
+from .udp import UdpDatagramMsg, UdpLayer
+
+__all__ = [
+    "IpDatagram",
+    "IpLayer",
+    "TcpConnection",
+    "TcpIpStack",
+    "TcpLayer",
+    "TcpSocket",
+    "UdpDatagramMsg",
+    "UdpLayer",
+    "UdpSocket",
+]

@@ -1,0 +1,84 @@
+"""Socket API: the syscall-wrapped face of the TCP/IP stack.
+
+Figure 2 of the paper contrasts the deep ``sockets -> TCP -> IP ->
+driver`` column against CLIC's short one; this module is that left-hand
+column's top.  Every call pays the socket-layer bookkeeping plus the
+full syscall machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ...hw.cpu import PRIO_KERNEL
+from ...oskernel import UserProcess
+from .tcp import TcpConnection
+
+__all__ = ["TcpSocket", "UdpSocket"]
+
+
+class TcpSocket:
+    """A connected stream socket owned by a user process."""
+
+    def __init__(self, proc: UserProcess, conn: TcpConnection):
+        self.proc = proc
+        self.conn = conn
+        self.kernel = proc.node.kernel
+        self.params = proc.node.cfg.tcp
+
+    def send(self, nbytes: int) -> Generator:
+        """Blocking stream send of ``nbytes``."""
+
+        def body() -> Generator:
+            yield from self.kernel.cpu.execute(
+                self.params.socket_call_ns, PRIO_KERNEL, label="sock_send"
+            )
+            yield from self.conn.send(nbytes)
+
+        yield from self.kernel.syscall(body(), label="tcp_send")
+
+    def recv(self, nbytes: int) -> Generator:
+        """Blocking receive of exactly ``nbytes`` from the stream."""
+
+        def body() -> Generator:
+            yield from self.kernel.cpu.execute(
+                self.params.socket_call_ns, PRIO_KERNEL, label="sock_recv"
+            )
+            got = yield from self.conn.recv(nbytes)
+            return got
+
+        got = yield from self.kernel.syscall(body(), label="tcp_recv")
+        return got
+
+
+class UdpSocket:
+    """A datagram socket bound to a port."""
+
+    def __init__(self, proc: UserProcess, port: int):
+        self.proc = proc
+        self.port = port
+        self.kernel = proc.node.kernel
+        self.params = proc.node.cfg.tcp
+        self.udp = proc.node.tcp.udp
+
+    def sendto(self, dst_node: int, nbytes: int, payload=None) -> Generator:
+        """Blocking datagram send of ``nbytes`` to a node."""
+        def body() -> Generator:
+            yield from self.kernel.cpu.execute(
+                self.params.socket_call_ns, PRIO_KERNEL, label="sock_sendto"
+            )
+            yield from self.udp.sendto(dst_node, self.port, nbytes, payload=payload)
+
+        yield from self.kernel.syscall(body(), label="udp_sendto")
+
+    def recvfrom(self, block: bool = True) -> Generator:
+        """Receive one datagram (or None when non-blocking)."""
+        def body() -> Generator:
+            yield from self.kernel.cpu.execute(
+                self.params.socket_call_ns, PRIO_KERNEL, label="sock_recvfrom"
+            )
+            msg = yield from self.udp.recvfrom(self.port, block=block)
+            return msg
+
+        msg = yield from self.kernel.syscall(body(), label="udp_recvfrom")
+        return msg

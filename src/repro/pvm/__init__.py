@@ -1,0 +1,5 @@
+"""PVM 3-style middleware (Figure 6's slowest contender)."""
+
+from .api import PvmTask, pvm_pair
+
+__all__ = ["PvmTask", "pvm_pair"]

@@ -1,0 +1,55 @@
+"""Self-contained discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`~repro.sim.core.Environment` and the event/process machinery,
+* queuing resources in :mod:`repro.sim.resources`,
+* deterministic RNG streams in :mod:`repro.sim.rng`,
+* tracing and accounting in :mod:`repro.sim.monitor`.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .monitor import BusyTracker, Counters, IntervalStats, Trace, TraceRecord
+from .resources import (
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+    Request,
+    Resource,
+    Store,
+)
+from .rng import RngStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BusyTracker",
+    "Condition",
+    "Counters",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "IntervalStats",
+    "Preempted",
+    "PreemptiveResource",
+    "PriorityResource",
+    "Process",
+    "Request",
+    "Resource",
+    "RngStreams",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "Trace",
+    "TraceRecord",
+]

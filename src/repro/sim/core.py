@@ -1,0 +1,471 @@
+"""Discrete-event simulation core.
+
+This module implements the event loop at the heart of the reproduction: a
+deterministic, single-threaded discrete-event simulator in the style of
+SimPy, built from scratch so the whole stack is self-contained.  Simulated
+entities (CPUs, buses, NICs, kernel activities, user processes) are Python
+generator *processes* that ``yield`` events; the :class:`Environment`
+advances virtual time from one scheduled event to the next.
+
+Time is measured in **nanoseconds** throughout the project (see
+:mod:`repro.units`).  Events scheduled for the same timestamp are processed
+in FIFO order of scheduling, which keeps every simulation bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must run before ordinary events at
+#: the same timestamp (used internally, e.g. for process resumption after
+#: an interrupt so the interrupt wins races deterministically).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation core."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event starts *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    triggers it, scheduling its callbacks to run at the current simulation
+    time.  Processes wait for events by ``yield``-ing them.
+
+    Attributes
+    ----------
+    env:
+        The environment the event lives in.
+    callbacks:
+        List of callables invoked with the event once it is processed.
+        ``None`` after processing.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has a value (even if not yet processed)."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is untriggered."""
+        if self._value is Event._PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.  If nothing ever waits, the environment raises it at the
+        end of the step (an *undefused* failure), so programming errors
+        cannot vanish silently.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self._defuse_of(event)
+            self.fail(event._value)
+
+    @staticmethod
+    def _defuse_of(event: "Event") -> None:
+        event._defused = True
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        """Whatever the interrupter passed as the cause."""
+        return self.args[0]
+
+
+class _Initialize(Event):
+    """Starts a newly created process on the next event-loop step."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A process wrapping a generator.
+
+    The process itself is an event that triggers when the generator
+    returns (with its return value) or raises (with the exception), so
+    processes can wait for each other simply by yielding them.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event the process is currently waiting for (or None).
+        self._target: Optional[Event] = None
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` until the wrapped generator has terminated."""
+        return self._value is Event._PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The interrupt is delivered on the next event-loop step with URGENT
+        priority.  Interrupting a dead process, or a process from within
+        itself, is an error.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=URGENT)
+
+    # -- internal -------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with ``event``'s outcome."""
+        env = self.env
+        env._active_proc = self
+        # Disconnect from a pending target if we are being interrupted
+        # while waiting on some other event.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
+            except StopIteration as exc:
+                env._active_proc = None
+                self._ok = True
+                self._value = exc.value
+                env._schedule(self)
+                return
+            except BaseException as exc:
+                env._active_proc = None
+                self._ok = False
+                self._value = exc
+                env._schedule(self)
+                return
+            # The generator yielded an event to wait for.
+            if not isinstance(next_event, Event):
+                env._active_proc = None
+                err = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                self._generator.close()
+                self._ok = False
+                self._value = err
+                env._schedule(self)
+                return
+            if next_event.callbacks is not None:
+                # Event still pending: register and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: loop and resume immediately with it.
+            event = next_event
+        env._active_proc = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Condition(Event):
+    """Waits for a combination of events (base for AnyOf/AllOf)."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        """Map of event -> value for all already-processed ok events, in order.
+
+        Uses ``processed`` rather than ``triggered`` because a
+        :class:`Timeout` carries its value from construction (it is
+        "triggered" before it happens).
+        """
+        return {e: e._value for e in self._events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any of the given events triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count >= 1, events)
+
+
+class AllOf(Condition):
+    """Triggers when all of the given events have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count == len(events), events)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (nanoseconds).
+    """
+
+    def __init__(self, initial_time: float = 0):
+        self._now = initial_time
+        self._queue: list = []  # heap of (time, priority, seq, event)
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock & introspection -------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (ns)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` ns."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have."""
+        return AllOf(self, events)
+
+    # -- scheduling & the loop ---------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event (advancing the clock)."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulation time), or an :class:`Event` (run until
+        it is processed, returning its value).
+        """
+        stop_at = None
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.processed:
+                    return stop_event.value if stop_event._ok else self._reraise(stop_event)
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until ({stop_at}) must not be earlier than now ({self._now})"
+                    )
+        try:
+            while self._queue:
+                if stop_at is not None and self._queue[0][0] > stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                f"event queue drained but {stop_event!r} never triggered"
+            )
+        if stop_event is not None:
+            return stop_event.value if stop_event._ok else self._reraise(stop_event)
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    @staticmethod
+    def _reraise(event: Event) -> None:
+        raise event._value
+
+    def _stop_callback(self, event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value

@@ -1,0 +1,181 @@
+"""Instrumentation: trace records, counters, and utilization accounting.
+
+The experiments need three kinds of observability:
+
+* **Trace** — timestamped named records (used to extract the Figure 7
+  per-stage pipeline timeline of a packet).
+* **Counter** — monotonically increasing event tallies (interrupt counts
+  for the Section 2 analysis, packets, retransmissions, ...).
+* **BusyTracker** — integrates busy time of a device to report CPU / bus
+  utilization over an interval.
+
+Everything is cheap no-op-able: a disabled :class:`Trace` costs one
+attribute check per record.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TraceRecord", "Trace", "Counters", "BusyTracker", "IntervalStats"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace entry."""
+
+    time: float
+    source: str
+    event: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:,.0f} ns] {self.source}: {self.event} {extras}".rstrip()
+
+
+class Trace:
+    """An append-only trace of :class:`TraceRecord` entries."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: float, source: str, event: str, **detail: Any) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, source, event, detail))
+
+    def filter(self, source: Optional[str] = None, event: Optional[str] = None) -> List[TraceRecord]:
+        """All records matching the given source and/or event name."""
+        out = self.records
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        return list(out)
+
+    def matching(self, **detail: Any) -> List[TraceRecord]:
+        """All records whose detail dict contains every given key/value."""
+        return [
+            r
+            for r in self.records
+            if all(r.detail.get(k) == v for k, v in detail.items())
+        ]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Counters:
+    """Named monotonic counters with a dict-like face."""
+
+    def __init__(self):
+        self._counts: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counts[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 when never incremented)."""
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict copy of all counters."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._counts.clear()
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def __repr__(self) -> str:
+        return f"Counters({dict(self._counts)!r})"
+
+
+class BusyTracker:
+    """Integrates the busy time of a device for utilization reporting.
+
+    Call :meth:`acquire`/:meth:`release` around busy intervals (re-entrant:
+    overlapping busy intervals from several users count once).
+    """
+
+    def __init__(self):
+        self._depth = 0
+        self._busy_since: Optional[float] = None
+        self.total_busy: float = 0.0
+        self._mark_time: float = 0.0
+        self._mark_busy: float = 0.0
+
+    def acquire(self, now: float) -> None:
+        """Mark the device busy from ``now`` (re-entrant)."""
+        if self._depth == 0:
+            self._busy_since = now
+        self._depth += 1
+
+    def release(self, now: float) -> None:
+        """Mark one busy interval finished at ``now``."""
+        if self._depth <= 0:
+            raise RuntimeError("BusyTracker.release without matching acquire")
+        self._depth -= 1
+        if self._depth == 0:
+            self.total_busy += now - self._busy_since
+            self._busy_since = None
+
+    def busy_time(self, now: float) -> float:
+        """Total busy time up to ``now`` (including an open interval)."""
+        open_part = (now - self._busy_since) if self._busy_since is not None else 0.0
+        return self.total_busy + open_part
+
+    def mark(self, now: float) -> None:
+        """Start a measurement window at ``now``."""
+        self._mark_time = now
+        self._mark_busy = self.busy_time(now)
+
+    def utilization_since_mark(self, now: float) -> float:
+        """Fraction of wall time busy since the last :meth:`mark`."""
+        span = now - self._mark_time
+        if span <= 0:
+            return 0.0
+        return (self.busy_time(now) - self._mark_busy) / span
+
+
+@dataclass
+class IntervalStats:
+    """Streaming mean/min/max/count over observed samples."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the running statistics."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """The statistics as a plain dict."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }

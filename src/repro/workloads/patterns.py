@@ -1,0 +1,126 @@
+"""Multi-node communication patterns.
+
+Beyond the two-node measurements, clusters run *patterns*: hotspot
+traffic into one node (file/viz servers), all-pairs exchanges
+(transpose/alltoall phases), and compute/communication overlap.  These
+drive the multiprogramming and contention aspects CLIC advertises
+(§5) — everything goes through the same public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List
+
+from ..cluster import Cluster
+from ..protocols.clic import ClicEndpoint
+from ..units import bandwidth_mbps
+
+__all__ = ["HotspotResult", "hotspot", "all_pairs", "overlap_efficiency"]
+
+
+@dataclass
+class HotspotResult:
+    """N senders -> one receiver."""
+
+    senders: int
+    nbytes_each: int
+    elapsed_ns: float
+    per_sender_done_ns: Dict[int, float]
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return bandwidth_mbps(self.senders * self.nbytes_each, self.elapsed_ns)
+
+
+def hotspot(cluster: Cluster, nbytes_each: int, port: int = 40) -> HotspotResult:
+    """Every other node sends ``nbytes_each`` to node 0 simultaneously."""
+    senders = len(cluster.nodes) - 1
+    if senders < 1:
+        raise ValueError("hotspot needs at least 2 nodes")
+    done_at: Dict[int, float] = {}
+    sink_done: List[float] = []
+
+    def sender_body(node_id):
+        def body(proc):
+            ep = ClicEndpoint(proc, port)
+            yield from ep.send(0, nbytes_each, tag=node_id)
+            yield from ep.flush(0)
+            done_at[node_id] = proc.env.now
+
+        return body
+
+    def sink_body(proc):
+        ep = ClicEndpoint(proc, port)
+        for _ in range(senders):
+            yield from ep.recv()
+        sink_done.append(proc.env.now)
+
+    sink = cluster.nodes[0].spawn("sink")
+    done = sink.run(sink_body)
+    for node in cluster.nodes[1:]:
+        node.spawn().run(sender_body(node.node_id))
+    cluster.env.run(done)
+    return HotspotResult(
+        senders=senders,
+        nbytes_each=nbytes_each,
+        elapsed_ns=sink_done[0],
+        per_sender_done_ns=done_at,
+    )
+
+
+def all_pairs(cluster: Cluster, nbytes: int, port: int = 41) -> float:
+    """Every node sends ``nbytes`` to every other node; returns the
+    completion time (ns) of the last delivery."""
+    n = len(cluster.nodes)
+    finish: List[float] = []
+
+    def body(node_id):
+        def run(proc):
+            ep = ClicEndpoint(proc, port)
+            for peer in range(n):
+                if peer != node_id:
+                    yield from ep.send(peer, nbytes, tag=node_id)
+            for _ in range(n - 1):
+                yield from ep.recv()
+            finish.append(proc.env.now)
+
+        return run
+
+    done = [node.spawn().run(body(node.node_id)) for node in cluster.nodes]
+    cluster.env.run(cluster.env.all_of(done))
+    return max(finish)
+
+
+def overlap_efficiency(cluster: Cluster, nbytes: int, compute_ns: float, port: int = 42) -> float:
+    """How much of a transfer hides behind computation.
+
+    Node 0 starts a send and immediately computes for ``compute_ns``;
+    node 1 receives.  Returns overlap efficiency in [0, 1]:
+    1.0 means the transfer cost was fully hidden behind the compute
+    (the promise of CLIC's asynchronous, DMA-driven send path).
+    """
+    times: Dict[str, float] = {}
+
+    def tx(proc):
+        ep = ClicEndpoint(proc, port)
+        t0 = proc.env.now
+        yield from ep.send(1, nbytes)
+        yield from proc.compute(compute_ns)
+        yield from ep.flush(1)
+        times["tx_total"] = proc.env.now - t0
+
+    def rx(proc):
+        ep = ClicEndpoint(proc, port)
+        yield from ep.recv()
+
+    p0 = cluster.nodes[0].spawn()
+    p1 = cluster.nodes[1].spawn()
+    d0 = p0.run(tx)
+    p1.run(rx)
+    cluster.env.run(d0)
+    total = times["tx_total"]
+    # Fully hidden: handoff + acks fit inside the compute window.
+    # Otherwise the efficiency is the fraction of wall time that was
+    # doing application work.
+    return 1.0 if total <= compute_ns else compute_ns / total

@@ -1,0 +1,96 @@
+"""Message-size sweeps: the x-axis of Figures 4, 5 and 6.
+
+The paper plots bandwidth against message size from 10^1 to 10^7 bytes
+on a log axis.  :func:`netpipe_sizes` generates that grid;
+:func:`bandwidth_sweep` runs a fresh cluster per point (fresh state, no
+warm caches carrying over — and each point's simulation is independent
+and reproducible).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..cluster import Cluster
+from ..config import ClusterConfig
+from .pingpong import PingPongResult, pingpong
+
+__all__ = ["netpipe_sizes", "bandwidth_sweep", "SweepSeries"]
+
+
+def netpipe_sizes(
+    min_exp: int = 1,
+    max_exp: int = 7,
+    points_per_decade: int = 3,
+) -> List[int]:
+    """Log-spaced message sizes, ``10^min_exp .. 10^max_exp`` bytes."""
+    if min_exp > max_exp:
+        raise ValueError("min_exp must be <= max_exp")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    sizes: List[int] = []
+    for exp in range(min_exp, max_exp):
+        base = 10**exp
+        for i in range(points_per_decade):
+            size = int(round(base * 10 ** (i / points_per_decade)))
+            if not sizes or size > sizes[-1]:
+                sizes.append(size)
+    sizes.append(10**max_exp)
+    return sizes
+
+
+class SweepSeries:
+    """One labeled bandwidth-vs-size curve."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.points: List[PingPongResult] = []
+
+    @property
+    def sizes(self) -> List[int]:
+        return [p.nbytes for p in self.points]
+
+    @property
+    def mbps(self) -> List[float]:
+        return [p.bandwidth_mbps for p in self.points]
+
+    def at(self, nbytes: int) -> PingPongResult:
+        """The measured point for an exact size (KeyError if absent)."""
+        for p in self.points:
+            if p.nbytes == nbytes:
+                return p
+        raise KeyError(f"no point at {nbytes} B in {self.label}")
+
+    def asymptote(self) -> float:
+        """Bandwidth at the largest measured size."""
+        return self.points[-1].bandwidth_mbps
+
+    def half_bandwidth_size(self) -> Optional[int]:
+        """Smallest measured size reaching half the asymptotic bandwidth
+        (the paper's 4 KB / 16 KB comparison)."""
+        half = self.asymptote() / 2
+        for p in self.points:
+            if p.bandwidth_mbps >= half:
+                return p.nbytes
+        return None
+
+    def as_dict(self) -> Dict:
+        """The whole series as a plain dict."""
+        return {"label": self.label, "points": [p.as_dict() for p in self.points]}
+
+
+def bandwidth_sweep(
+    label: str,
+    make_cluster: Callable[[], Cluster],
+    setup_factory: Callable[[], Callable],
+    sizes: Sequence[int],
+    repeats: int = 2,
+    warmup: int = 1,
+) -> SweepSeries:
+    """Measure a bandwidth curve: one fresh cluster + ping-pong per size."""
+    series = SweepSeries(label)
+    for nbytes in sizes:
+        cluster = make_cluster()
+        result = pingpong(cluster, setup_factory(), nbytes, repeats=repeats, warmup=warmup)
+        series.points.append(result)
+    return series

@@ -1,0 +1,61 @@
+"""Tests for the experiment registry and the fast experiments end-to-end.
+
+The heavyweight sweeps (fig4/fig5/fig6/headline) run in the benchmark
+suite; here we cover the registry mechanics and the experiments cheap
+enough for the unit-test loop — including their shape checks, which
+encode the paper's claims.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def test_registry_lists_all_paper_artifacts():
+    assert set(EXPERIMENTS) == {
+        "fig4", "fig5", "fig6", "fig7",
+        "headline", "comparison", "interrupts", "ablations", "breakdown",
+        "collectives", "fe2001",
+    }
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_fig7_runs_with_shape_checks():
+    result = run_experiment("fig7")
+    assert result["id"] == "FIG7"
+    assert "driver interrupt" in result["report"]
+    # Paper's ~15 us stage.
+    stages = dict(result["a"]["stages"])
+    assert 10 <= stages["receiver: driver interrupt (NIC->system copy)"] <= 25
+
+
+def test_comparison_runs_with_shape_checks():
+    result = run_experiment("comparison")
+    assert result["survives_loss"]["CLIC"] is True
+    assert result["survives_loss"]["GAMMA"] is False
+    assert result["latency_us"]["GAMMA"] < result["latency_us"]["CLIC"]
+
+
+def test_interrupts_runs_with_shape_checks():
+    result = run_experiment("interrupts")
+    cells = result["cells"]
+    assert cells["1500/False"]["irqs"] > cells["1500/True"]["irqs"]
+
+
+def test_cli_main_runs_one_experiment(capsys):
+    from repro.experiments.registry import main
+
+    assert main(["fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG7" in out
+
+
+def test_cli_rejects_unknown(capsys):
+    from repro.experiments.registry import main
+
+    with pytest.raises(SystemExit):
+        main(["nope"])

@@ -1,0 +1,123 @@
+"""MPI datatype sizing tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    Datatype,
+    contiguous,
+    indexed,
+    struct,
+    vector,
+)
+
+
+def test_base_types():
+    assert BYTE.size == 1 and INT.size == 4 and DOUBLE.size == 8
+    assert all(t.contiguous for t in (BYTE, INT, FLOAT, DOUBLE))
+    assert INT.bytes_for(10) == 40
+    assert INT.footprint(10) == 40
+
+
+def test_bytes_for_negative_count_rejected():
+    with pytest.raises(ValueError):
+        INT.bytes_for(-1)
+
+
+def test_invalid_datatype_rejected():
+    with pytest.raises(ValueError):
+        Datatype("bad", size=8, extent=4)
+    with pytest.raises(ValueError):
+        Datatype("bad", size=-1, extent=4)
+
+
+def test_contiguous_constructor():
+    row = contiguous(100, DOUBLE)
+    assert row.size == 800
+    assert row.extent == 800
+    assert row.contiguous
+    assert not row.needs_pack()
+
+
+def test_vector_strided_is_not_contiguous():
+    # A column of a 10x10 double matrix: 10 blocks of 1, stride 10.
+    col = vector(10, 1, 10, DOUBLE)
+    assert col.size == 80
+    assert col.extent == 8 * (10 * 9 + 1)
+    assert not col.contiguous
+    assert col.needs_pack()
+
+
+def test_vector_dense_is_contiguous():
+    dense = vector(5, 4, 4, FLOAT)
+    assert dense.size == 80
+    assert dense.contiguous
+
+
+def test_vector_overlap_rejected():
+    with pytest.raises(ValueError):
+        vector(3, 5, 4, INT)
+
+
+def test_vector_empty():
+    empty = vector(0, 1, 1, INT)
+    assert empty.size == 0
+    assert empty.bytes_for(3) == 0
+
+
+def test_indexed_tiling_contiguity():
+    tiled = indexed([(2, 0), (3, 2)], INT)
+    assert tiled.contiguous
+    gappy = indexed([(2, 0), (3, 4)], INT)
+    assert not gappy.contiguous
+    assert gappy.size == 20
+
+
+def test_indexed_empty():
+    assert indexed([], INT).size == 0
+
+
+def test_struct_mixed_alignment():
+    s = struct([(1, CHAR_LIKE := BYTE), (1, DOUBLE)])
+    # 1 byte + 7 padding + 8 = extent 16, size 9 -> not contiguous.
+    assert s.size == 9
+    assert s.extent == 16
+    assert not s.contiguous
+
+
+def test_struct_homogeneous_is_contiguous():
+    s = struct([(4, INT)])
+    assert s.size == 16 and s.extent == 16
+    assert s.contiguous
+
+
+def test_struct_empty():
+    assert struct([]).size == 0
+
+
+@given(count=st.integers(min_value=0, max_value=1000))
+def test_property_footprint_at_least_size(count):
+    col = vector(10, 1, 10, DOUBLE)
+    assert col.footprint(count) >= col.bytes_for(count) - col.size or count == 0
+    assert contiguous(3, INT).footprint(count) == contiguous(3, INT).bytes_for(count)
+
+
+@given(
+    count=st.integers(min_value=1, max_value=50),
+    blocklength=st.integers(min_value=1, max_value=8),
+    extra_stride=st.integers(min_value=0, max_value=8),
+)
+def test_property_vector_size_and_extent(count, blocklength, extra_stride):
+    stride = blocklength + extra_stride
+    v = vector(count, blocklength, stride, INT)
+    assert v.size == 4 * blocklength * count
+    assert v.extent >= v.size
+    if extra_stride == 0:
+        assert v.contiguous
+    elif count > 1:
+        assert not v.contiguous

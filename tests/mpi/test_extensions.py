@@ -1,0 +1,107 @@
+"""Tests for MPI extensions: waitall, probe/iprobe, scan, reduce_scatter."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import granada2003
+from repro.mpi import mpirun
+
+
+def make_cluster(nodes=2):
+    return Cluster(granada2003(num_nodes=nodes))
+
+
+def test_waitall_gathers_results_in_order():
+    cluster = make_cluster()
+
+    def program(ctx):
+        peer = 1 - ctx.rank
+        reqs = [ctx.irecv(100 * (i + 1), source=peer, tag=i) for i in range(3)]
+        for i in range(3):
+            yield from ctx.send(peer, 100 * (i + 1), tag=i)
+        msgs = yield from ctx.waitall(reqs)
+        return [m.nbytes for m in msgs]
+
+    results = mpirun(cluster, program)
+    assert results == [[100, 200, 300]] * 2
+
+
+def test_iprobe_sees_without_consuming():
+    cluster = make_cluster()
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 500, tag=9)
+            return None
+        found = yield from ctx.probe(source=0, tag=9)
+        still_there = ctx.iprobe(source=0, tag=9)
+        msg = yield from ctx.recv(500, source=0, tag=9)
+        gone = ctx.iprobe(source=0, tag=9)
+        return (found.nbytes, still_there is not None, msg.nbytes, gone)
+
+    results = mpirun(cluster, program)
+    assert results[1] == (500, True, 500, None)
+
+
+def test_iprobe_none_when_empty():
+    cluster = make_cluster()
+
+    def program(ctx):
+        return ctx.iprobe()
+        yield  # pragma: no cover
+
+    assert mpirun(cluster, program) == [None, None]
+
+
+def test_probe_on_tcp_transport_raises():
+    cluster = make_cluster()
+
+    def program(ctx):
+        try:
+            ctx.iprobe()
+        except NotImplementedError:
+            return "nope"
+        return "ok"
+        yield  # pragma: no cover
+
+    assert mpirun(cluster, program, transport="tcp") == ["nope", "nope"]
+
+
+@pytest.mark.parametrize("nodes", [2, 3, 5])
+def test_scan_prefix_counts(nodes):
+    cluster = make_cluster(nodes)
+
+    def program(ctx):
+        count = yield from ctx.scan(1_000)
+        return count
+
+    assert mpirun(cluster, program) == [r + 1 for r in range(nodes)]
+
+
+@pytest.mark.parametrize("nodes", [2, 4, 5])
+def test_reduce_scatter_everyone_combines_all(nodes):
+    cluster = make_cluster(nodes)
+
+    def program(ctx):
+        count = yield from ctx.reduce_scatter(2_000)
+        return count
+
+    assert mpirun(cluster, program) == [nodes] * nodes
+
+
+def test_probe_blocks_until_message(capsys=None):
+    cluster = make_cluster()
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.proc.compute(200_000)  # delay the send
+            yield from ctx.send(1, 64, tag=1)
+            return None
+        t0 = ctx.proc.env.now
+        found = yield from ctx.probe(source=0, tag=1)
+        waited = ctx.proc.env.now - t0
+        yield from ctx.recv(64, source=0, tag=1)
+        return (found.nbytes, waited > 100_000)
+
+    results = mpirun(cluster, program)
+    assert results[1] == (64, True)

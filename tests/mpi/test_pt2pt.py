@@ -1,0 +1,175 @@
+"""MPI point-to-point tests over both transports."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import granada2003
+from repro.mpi import build_world, mpirun
+
+
+def make_cluster(nodes=2):
+    return Cluster(granada2003(num_nodes=nodes))
+
+
+@pytest.mark.parametrize("transport", ["clic", "tcp"])
+def test_send_recv_roundtrip(transport):
+    cluster = make_cluster()
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 10_000, tag=3)
+            msg = yield from ctx.recv(5_000, source=1, tag=4)
+            return msg.nbytes
+        msg = yield from ctx.recv(10_000, source=0, tag=3)
+        yield from ctx.send(0, 5_000, tag=4)
+        return msg.nbytes
+
+    results = mpirun(cluster, program, transport=transport)
+    assert results == [5_000, 10_000]
+
+
+def test_any_source_recv_on_clic():
+    cluster = make_cluster(3)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            sources = set()
+            for _ in range(2):
+                msg = yield from ctx.recv(100)
+                sources.add(msg.source)
+            return sources
+        yield from ctx.send(0, 100)
+        return None
+
+    results = mpirun(cluster, program, transport="clic")
+    assert results[0] == {1, 2}
+
+
+def test_any_source_on_tcp_raises():
+    cluster = make_cluster()
+
+    def program(ctx):
+        if ctx.rank == 0:
+            try:
+                yield from ctx.recv(100)
+            except NotImplementedError:
+                yield from ctx.recv(100, source=1)
+                return "fellback"
+        else:
+            yield from ctx.send(0, 100)
+        return None
+
+    results = mpirun(cluster, program, transport="tcp")
+    assert results[0] == "fellback"
+
+
+def test_isend_irecv_overlap():
+    cluster = make_cluster()
+
+    def program(ctx):
+        peer = 1 - ctx.rank
+        rreq = ctx.irecv(2_000, source=peer, tag=1)
+        sreq = ctx.isend(peer, 2_000, tag=1)
+        msg = yield from rreq.wait()
+        yield from sreq.wait()
+        return msg.nbytes
+
+    assert mpirun(cluster, program) == [2_000, 2_000]
+
+
+def test_request_test_polls_completion():
+    cluster = make_cluster()
+
+    def program(ctx):
+        peer = 1 - ctx.rank
+        req = ctx.irecv(100, source=peer)
+        assert req.test() is None
+        assert not req.done
+        yield from ctx.send(peer, 100)
+        msg = yield from req.wait()
+        assert req.done
+        assert req.test() is not None
+        return msg.nbytes
+
+    assert mpirun(cluster, program) == [100, 100]
+
+
+def test_sendrecv_exchanges_without_deadlock():
+    cluster = make_cluster()
+
+    def program(ctx):
+        peer = 1 - ctx.rank
+        msg = yield from ctx.sendrecv(peer, 50_000, peer, 50_000)
+        return msg.nbytes
+
+    assert mpirun(cluster, program) == [50_000, 50_000]
+
+
+def test_wrong_size_recv_detected():
+    cluster = make_cluster()
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 200)
+        else:
+            yield from ctx.recv(100, source=0)
+
+    with pytest.raises(AssertionError):
+        mpirun(cluster, program)
+
+
+def test_rank_out_of_range_rejected():
+    cluster = make_cluster()
+
+    def program(ctx):
+        yield from ctx.send(5, 100)
+
+    with pytest.raises(ValueError):
+        mpirun(cluster, program)
+
+
+def test_invalid_transport_rejected():
+    with pytest.raises(ValueError):
+        build_world(make_cluster(), transport="smoke-signals")
+
+
+def test_tag_matching_across_messages():
+    cluster = make_cluster()
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 100, tag=7)
+            yield from ctx.send(1, 200, tag=8)
+        else:
+            late = yield from ctx.recv(200, source=0, tag=8)
+            early = yield from ctx.recv(100, source=0, tag=7)
+            return (early.tag, late.tag)
+        return None
+
+    results = mpirun(cluster, program, transport="clic")
+    assert results[1] == (7, 8)
+
+
+def test_mpi_adds_library_overhead_vs_raw_clic():
+    """MPI-CLIC must sit below raw CLIC (Figure 6's top two curves)."""
+    from repro.workloads import clic_pair, pingpong
+
+    def mpi_latency():
+        cluster = make_cluster()
+        world = build_world(cluster, "clic")
+
+        def program(ctx):
+            peer = 1 - ctx.rank
+            if ctx.rank == 0:
+                t0 = ctx.proc.env.now
+                yield from ctx.send(peer, 0)
+                yield from ctx.recv(0, source=peer)
+                return ctx.proc.env.now - t0
+            msg = yield from ctx.recv(0, source=peer)
+            yield from ctx.send(peer, 0)
+            return None
+
+        return world.run(program)[0] / 2
+
+    raw = pingpong(Cluster(granada2003()), clic_pair(), 0, repeats=2, warmup=1).one_way_ns
+    assert mpi_latency() > raw * 0.9  # envelope bytes + per-call cost

@@ -1,0 +1,247 @@
+"""Unit + property tests for the sliding-window reliability machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.reliability import DeliveryFailed, OrderedReceiver, WindowedSender
+from repro.sim import Environment
+
+
+def make_sender(env, window=4, timeout=1000, retries=3, sink=None):
+    retransmitted = [] if sink is None else sink
+    sender = WindowedSender(
+        env,
+        window=window,
+        retransmit_timeout_ns=timeout,
+        max_retries=retries,
+        retransmit=lambda pkts: retransmitted.extend(pkts),
+    )
+    return sender, retransmitted
+
+
+def test_sender_assigns_sequential_seqs():
+    env = Environment()
+    sender, _ = make_sender(env)
+    assert sender.register("a") == 0
+    assert sender.register("b") == 1
+    assert sender.in_flight == 2
+
+
+def test_sender_window_blocks_and_ack_releases():
+    env = Environment()
+    sender, _ = make_sender(env, window=2, timeout=1e9)
+    log = []
+
+    def producer(env):
+        for i in range(4):
+            yield from sender.reserve()
+            sender.register(i)
+            log.append((i, env.now))
+
+    def acker(env):
+        yield env.timeout(100)
+        sender.on_ack(2)
+
+    env.process(producer(env))
+    env.process(acker(env))
+    env.run()
+    assert [t for _, t in log] == [0, 0, 100, 100]
+
+
+def test_register_without_space_is_error():
+    env = Environment()
+    sender, _ = make_sender(env, window=1, timeout=1e9)
+    sender.register("x")
+    with pytest.raises(RuntimeError):
+        sender.register("y")
+
+
+def test_timeout_retransmits_all_in_flight():
+    env = Environment()
+    sender, retx = make_sender(env, window=8, timeout=500, retries=5)
+    sender.register("a")
+    sender.register("b")
+    env.run(until=600)
+    assert retx == ["a", "b"]
+
+
+def test_ack_cancels_timer():
+    env = Environment()
+    sender, retx = make_sender(env, window=8, timeout=500)
+    sender.register("a")
+    sender.on_ack(1)
+    env.run(until=2000)
+    assert retx == []
+    assert sender.in_flight == 0
+
+
+def test_retry_exhaustion_raises_in_waiters():
+    env = Environment()
+    sender, _ = make_sender(env, window=1, timeout=100, retries=2)
+    sender.register("doomed")
+
+    def producer(env):
+        try:
+            yield from sender.reserve()
+        except DeliveryFailed:
+            return "failed"
+        return "ok"
+
+    p = env.process(producer(env))
+    assert env.run(p) == "failed"
+
+
+def test_drain_waits_for_all_acks():
+    env = Environment()
+    sender, _ = make_sender(env, window=8, timeout=1e9)
+    sender.register("a")
+    sender.register("b")
+    log = []
+
+    def drainer(env):
+        yield from sender.drain()
+        log.append(env.now)
+
+    def acker(env):
+        yield env.timeout(50)
+        sender.on_ack(1)
+        yield env.timeout(50)
+        sender.on_ack(2)
+
+    env.process(drainer(env))
+    env.process(acker(env))
+    env.run()
+    assert log == [100]
+
+
+def test_duplicate_acks_ignored():
+    env = Environment()
+    sender, _ = make_sender(env, window=4, timeout=1e9)
+    sender.register("a")
+    sender.on_ack(1)
+    sender.on_ack(1)
+    assert sender.counters.get("duplicate_acks") == 1
+
+
+def test_invalid_window_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        WindowedSender(env, window=0, retransmit_timeout_ns=1, max_retries=1, retransmit=lambda p: None)
+
+
+def make_receiver(env, ack_every=2, stash=4):
+    delivered, acks = [], []
+    receiver = OrderedReceiver(
+        env,
+        deliver=delivered.append,
+        send_ack=acks.append,
+        ack_every=ack_every,
+        ack_delay_ns=1e9,  # effectively off unless tested
+        stash_limit=stash,
+    )
+    return receiver, delivered, acks
+
+
+def test_receiver_in_order_delivery():
+    env = Environment()
+    receiver, delivered, acks = make_receiver(env)
+    receiver.on_packet(0, "a")
+    receiver.on_packet(1, "b")
+    assert delivered == ["a", "b"]
+    assert acks == [2]  # cumulative after ack_every=2
+
+
+def test_receiver_stashes_out_of_order():
+    env = Environment()
+    receiver, delivered, acks = make_receiver(env, ack_every=10)
+    receiver.on_packet(2, "c")
+    receiver.on_packet(1, "b")
+    assert delivered == []
+    receiver.on_packet(0, "a")
+    assert delivered == ["a", "b", "c"]
+    assert receiver.expected == 3
+
+
+def test_receiver_duplicate_reacks():
+    env = Environment()
+    receiver, delivered, acks = make_receiver(env, ack_every=1)
+    receiver.on_packet(0, "a")
+    receiver.on_packet(0, "a")  # retransmission
+    assert delivered == ["a"]
+    assert acks == [1, 1]
+    assert receiver.counters.get("duplicates") == 1
+
+
+def test_receiver_stash_overflow_drops():
+    env = Environment()
+    receiver, delivered, acks = make_receiver(env, stash=2)
+    for seq in (5, 6, 7, 8):
+        receiver.on_packet(seq, seq)
+    assert receiver.counters.get("stash_overflow_drops") == 2
+    assert delivered == []
+
+
+def test_receiver_delayed_ack_fires():
+    env = Environment()
+    delivered, acks = [], []
+    receiver = OrderedReceiver(
+        env, deliver=delivered.append, send_ack=acks.append,
+        ack_every=10, ack_delay_ns=500,
+    )
+    receiver.on_packet(0, "a")
+    assert acks == []
+    env.run(until=1000)
+    assert acks == [1]
+
+
+def test_receiver_invalid_ack_every():
+    env = Environment()
+    with pytest.raises(ValueError):
+        OrderedReceiver(env, deliver=lambda p: None, send_ack=lambda c: None, ack_every=0)
+
+
+# -- property-based: any arrival pattern yields exactly-once in-order delivery
+@settings(max_examples=200, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    shuffles=st.data(),
+)
+def test_property_exactly_once_in_order_under_reorder_and_dup(n, shuffles):
+    """Feed packets 0..n-1 in any order, with duplicates, within the stash
+    window: delivery must be exactly-once, in order."""
+    env = Environment()
+    delivered, acks = [], []
+    receiver = OrderedReceiver(
+        env, deliver=delivered.append, send_ack=acks.append,
+        ack_every=3, ack_delay_ns=1e9, stash_limit=n + 1,
+    )
+    pending = list(range(n))
+    sent = []
+    while pending:
+        # Pick among the first few undelivered (bounded reorder) or a dup.
+        window = pending[: min(4, len(pending))]
+        choice = shuffles.draw(st.sampled_from(window + (sent[-2:] if sent else [])))
+        if choice in pending:
+            pending.remove(choice)
+            sent.append(choice)
+        receiver.on_packet(choice, choice)
+    assert delivered == sorted(delivered)
+    assert delivered == list(range(n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(acks=st.lists(st.integers(min_value=0, max_value=50), max_size=20))
+def test_property_sender_base_monotonic(acks):
+    """Whatever cumulative acks arrive (dups, stale), base never regresses
+    and never exceeds next_seq."""
+    env = Environment()
+    sender, _ = make_sender(env, window=64, timeout=1e12)
+    for _ in range(32):
+        sender.register("p")
+    base_history = [sender.base]
+    for a in acks:
+        sender.on_ack(min(a, sender.next_seq))
+        base_history.append(sender.base)
+    assert base_history == sorted(base_history)
+    assert sender.base <= sender.next_seq

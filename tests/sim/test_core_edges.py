@@ -1,0 +1,163 @@
+"""Edge-case tests for the simulation core."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+)
+
+
+def test_allof_fails_if_any_member_fails():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(5)
+        raise RuntimeError("member died")
+
+    def waiter(env):
+        p = env.process(failing(env))
+        t = env.timeout(100)
+        try:
+            yield env.all_of([p, t])
+        except RuntimeError as exc:
+            return str(exc)
+
+    assert env.run(env.process(waiter(env))) == "member died"
+
+
+def test_anyof_failure_beats_success():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1)
+        raise ValueError("fast failure")
+
+    def waiter(env):
+        p = env.process(failing(env))
+        t = env.timeout(50)
+        try:
+            yield env.any_of([p, t])
+        except ValueError:
+            return "caught"
+        return "ok"
+
+    assert env.run(env.process(waiter(env))) == "caught"
+
+
+def test_condition_rejects_foreign_environment():
+    env1, env2 = Environment(), Environment()
+    t1 = env1.timeout(1)
+    t2 = env2.timeout(1)
+    with pytest.raises(SimulationError):
+        env1.all_of([t1, t2])
+
+
+def test_interrupt_while_queued_on_resource():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(100)
+
+    def victim(env):
+        req = res.request()
+        try:
+            yield req
+            log.append("granted")
+        except Interrupt:
+            req.cancel()
+            log.append("interrupted")
+
+    def attacker(env, p):
+        yield env.timeout(10)
+        p.interrupt()
+
+    env.process(holder(env))
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert log == ["interrupted"]
+    # The cancelled request never occupies the resource.
+    assert res.count == 0
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_fail_with_non_exception_rejected():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.timeout(10)
+    env.run(until=100)
+    with pytest.raises(ValueError):
+        env.run(until=50)
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_trigger_copies_state_from_other_event():
+    env = Environment()
+    src = env.event()
+    dst = env.event()
+    src.succeed("payload")
+    env.run()
+    dst.trigger(src)
+    assert dst.triggered and dst.value == "payload"
+
+
+def test_process_repr_and_event_repr():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1)
+
+    p = env.process(body(env), name="worker")
+    assert "worker" in repr(p)
+    assert "alive" in repr(p)
+    ev = env.event()
+    assert "pending" in repr(ev)
+    env.run()
+    assert "done" in repr(p)
+
+
+def test_nested_yield_from_processes():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(10)
+        return 5
+
+    def middle(env):
+        value = yield from inner(env)
+        yield env.timeout(10)
+        return value * 2
+
+    def outer(env):
+        value = yield from middle(env)
+        return value + 1
+
+    assert env.run(env.process(outer(env))) == 11
+    assert env.now == 20

@@ -1,0 +1,120 @@
+"""Tests for tracing, counters, busy tracking, and RNG streams."""
+
+import pytest
+
+from repro.sim import BusyTracker, Counters, IntervalStats, RngStreams, Trace
+
+
+def test_trace_disabled_records_nothing():
+    t = Trace(enabled=False)
+    t.record(1.0, "src", "ev", x=1)
+    assert len(t) == 0
+
+
+def test_trace_filter_by_source_and_event():
+    t = Trace(enabled=True)
+    t.record(1, "a", "x", k=1)
+    t.record(2, "a", "y")
+    t.record(3, "b", "x")
+    assert len(t.filter(source="a")) == 2
+    assert len(t.filter(event="x")) == 2
+    assert len(t.filter(source="a", event="x")) == 1
+    assert t.matching(k=1)[0].time == 1
+    t.clear()
+    assert len(t) == 0
+
+
+def test_trace_record_repr():
+    t = Trace(enabled=True)
+    t.record(1500, "node0", "stage", pkt=7)
+    assert "node0" in repr(t.records[0])
+    assert "pkt=7" in repr(t.records[0])
+
+
+def test_counters_accumulate_and_snapshot():
+    c = Counters()
+    c.add("x")
+    c.add("x", 2)
+    c.add("y", 0.5)
+    assert c["x"] == 3
+    assert c.get("missing") == 0
+    snap = c.snapshot()
+    assert snap == {"x": 3, "y": 0.5}
+    c.reset()
+    assert c.get("x") == 0
+
+
+def test_busy_tracker_integrates_intervals():
+    b = BusyTracker()
+    b.acquire(0)
+    b.release(10)
+    b.acquire(20)
+    b.release(25)
+    assert b.total_busy == 15
+    assert b.busy_time(100) == 15
+
+
+def test_busy_tracker_reentrant_counts_once():
+    b = BusyTracker()
+    b.acquire(0)
+    b.acquire(5)  # overlap
+    b.release(10)
+    b.release(20)
+    assert b.total_busy == 20
+
+
+def test_busy_tracker_open_interval_and_marks():
+    b = BusyTracker()
+    b.acquire(0)
+    assert b.busy_time(30) == 30
+    b.mark(30)
+    b.release(40)
+    assert b.utilization_since_mark(50) == pytest.approx(0.5)
+    assert b.utilization_since_mark(30) == 0.0
+
+
+def test_busy_tracker_unbalanced_release_raises():
+    b = BusyTracker()
+    with pytest.raises(RuntimeError):
+        b.release(1)
+
+
+def test_interval_stats():
+    s = IntervalStats()
+    assert s.mean == 0.0
+    for v in (1.0, 3.0, 2.0):
+        s.observe(v)
+    d = s.as_dict()
+    assert d["count"] == 3
+    assert d["mean"] == pytest.approx(2.0)
+    assert d["min"] == 1.0 and d["max"] == 3.0
+
+
+def test_rng_streams_deterministic_and_independent():
+    a1 = RngStreams(7).stream("loss")
+    a2 = RngStreams(7).stream("loss")
+    b = RngStreams(7).stream("jitter")
+    seq1 = a1.random(5).tolist()
+    seq2 = a2.random(5).tolist()
+    seqb = b.random(5).tolist()
+    assert seq1 == seq2  # same seed+name -> identical
+    assert seq1 != seqb  # different name -> independent
+
+
+def test_rng_stream_cached_not_restarted():
+    rngs = RngStreams(1)
+    s = rngs.stream("x")
+    first = s.random()
+    again = rngs.stream("x").random()
+    assert first != again  # same generator object advancing, not reset
+
+
+def test_rng_spawn_children_differ_from_parent():
+    parent = RngStreams(3)
+    child = parent.spawn("node0")
+    other = parent.spawn("node1")
+    assert child.seed != other.seed
+    assert "node0" not in repr(parent)
+    p = parent.stream("s").random()
+    c = child.stream("s").random()
+    assert p != c

@@ -1,0 +1,309 @@
+"""Unit tests for queuing resources and stores."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Interrupt,
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+    Resource,
+    Store,
+)
+
+
+def test_resource_serializes_users():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(env, name):
+        with res.request() as req:
+            yield req
+            log.append((name, "in", env.now))
+            yield env.timeout(10)
+        log.append((name, "out", env.now))
+
+    env.process(user(env, "a"))
+    env.process(user(env, "b"))
+    env.run()
+    assert log == [
+        ("a", "in", 0),
+        ("a", "out", 10),
+        ("b", "in", 10),
+        ("b", "out", 20),
+    ]
+
+
+def test_resource_capacity_two_runs_concurrently():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def user(env, name):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+        done.append((name, env.now))
+
+    for name in "abc":
+        env.process(user(env, name))
+    env.run()
+    assert done == [("a", 10), ("b", 10), ("c", 20)]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_release_via_context_manager_even_on_exception():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def bad(env):
+        with res.request() as req:
+            yield req
+            raise RuntimeError("die")
+
+    def good(env):
+        with res.request() as req:
+            yield req
+            return env.now
+
+    p1 = env.process(bad(env))
+    p2 = env.process(good(env))
+    with pytest.raises(RuntimeError):
+        env.run()
+    env2 = Environment()
+    # rebuild in a fresh env where the exception is caught by a parent
+    res2 = Resource(env2, capacity=1)
+
+    def bad2(env):
+        with res2.request() as req:
+            yield req
+            raise RuntimeError("die")
+
+    def parent(env):
+        try:
+            yield env.process(bad2(env))
+        except RuntimeError:
+            pass
+        with res2.request() as req:
+            yield req
+            return "acquired-after-crash"
+
+    assert env2.run(env2.process(parent(env2))) == "acquired-after-crash"
+    del p1, p2
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request(priority=5) as req:
+            yield req
+            yield env.timeout(100)
+
+    def contender(env, name, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder(env))
+    env.process(contender(env, "low", 10, 1))
+    env.process(contender(env, "high", 0, 2))
+    env.process(contender(env, "mid", 5, 3))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_preemptive_resource_evicts_lower_priority():
+    env = Environment()
+    cpu = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def user_task(env):
+        req = cpu.request(priority=10, preempt=False)
+        yield req
+        try:
+            yield env.timeout(100)
+            log.append(("user-done", env.now))
+            cpu.release(req)
+        except Interrupt as intr:
+            assert isinstance(intr.cause, Preempted)
+            log.append(("user-preempted", env.now))
+
+    def irq(env):
+        yield env.timeout(30)
+        with cpu.request(priority=0, preempt=True) as req:
+            yield req
+            log.append(("irq-run", env.now))
+            yield env.timeout(20)
+        log.append(("irq-done", env.now))
+
+    env.process(user_task(env))
+    env.process(irq(env))
+    env.run()
+    assert ("user-preempted", 30) in log
+    assert ("irq-run", 30) in log
+    assert ("irq-done", 50) in log
+
+
+def test_preempted_cause_records_usage_since():
+    env = Environment()
+    cpu = PreemptiveResource(env, capacity=1)
+    seen = {}
+
+    def victim(env):
+        req = cpu.request(priority=10, preempt=False)
+        yield req
+        try:
+            yield env.timeout(1000)
+        except Interrupt as intr:
+            seen["cause"] = intr.cause
+
+    def bully(env):
+        yield env.timeout(40)
+        with cpu.request(priority=0, preempt=True) as req:
+            yield req
+            yield env.timeout(1)
+
+    env.process(victim(env))
+    env.process(bully(env))
+    env.run()
+    cause = seen["cause"]
+    assert isinstance(cause, Preempted)
+    assert cause.usage_since == 0
+    assert cause.resource is cpu
+
+
+def test_equal_priority_does_not_preempt():
+    env = Environment()
+    cpu = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def one(env):
+        with cpu.request(priority=5, preempt=False) as req:
+            yield req
+            yield env.timeout(50)
+            log.append(("one", env.now))
+
+    def two(env):
+        yield env.timeout(10)
+        with cpu.request(priority=5, preempt=True) as req:
+            yield req
+            log.append(("two", env.now))
+
+    env.process(one(env))
+    env.process(two(env))
+    env.run()
+    assert log == [("one", 50), ("two", 50)]
+
+
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(10)
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [(0, 10), (1, 20), (2, 30)]
+
+
+def test_store_capacity_blocks_producer():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        log.append(("put-a", env.now))
+        yield store.put("b")
+        log.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(100)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("put-a", 0) in log
+    assert ("put-b", 100) in log
+
+
+def test_store_filter_get():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        yield store.put({"tag": 1, "v": "x"})
+        yield store.put({"tag": 2, "v": "y"})
+
+    def consumer(env):
+        item = yield store.get(filter=lambda m: m["tag"] == 2)
+        return item["v"]
+
+    env.process(producer(env))
+    p = env.process(consumer(env))
+    assert env.run(p) == "y"
+
+
+def test_store_filter_leaves_other_items():
+    env = Environment()
+    store = Store(env)
+
+    def run(env):
+        yield store.put("a")
+        yield store.put("b")
+        first = yield store.get(filter=lambda m: m == "b")
+        second = yield store.get()
+        return (first, second)
+
+    assert env.run(env.process(run(env))) == ("b", "a")
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+
+    def fill(env):
+        yield store.put(7)
+
+    env.process(fill(env))
+    env.run()
+    assert store.try_get() == 7
+    assert store.try_get() is None
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def fill(env):
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(fill(env))
+    env.run()
+    assert len(store) == 2

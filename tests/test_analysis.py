@@ -1,0 +1,147 @@
+"""Tests for the analysis helpers: tables, plots, metrics, timelines."""
+
+import pytest
+
+from repro.analysis import (
+    crossover_size,
+    format_series_table,
+    format_table,
+    interpolate_half_bandwidth,
+    logx_plot,
+    ratio_at,
+    size_reaching,
+)
+from repro.workloads import SweepSeries
+from repro.workloads.pingpong import PingPongResult
+
+
+def make_series(label, points):
+    s = SweepSeries(label)
+    for nbytes, mbps in points:
+        one_way = nbytes * 8 / (mbps * 1e6) * 1e9 if mbps else 1.0
+        s.points.append(PingPongResult(nbytes=nbytes, repeats=1, rtt_ns=2 * one_way))
+    return s
+
+
+def test_format_table_alignment_and_floats():
+    out = format_table(["a", "long-header"], [(1, 2.5), (333, 4.0)])
+    lines = out.splitlines()
+    assert "a" in lines[0] and "long-header" in lines[0]
+    assert "2.5" in out and "4.0" in out
+    # All rows equal width.
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [(1,)])
+
+
+def test_format_table_title():
+    out = format_table(["x"], [(1,)], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_series_table_requires_common_grid():
+    s1 = make_series("one", [(10, 1.0), (100, 2.0)])
+    s2 = make_series("two", [(10, 1.0), (999, 2.0)])
+    with pytest.raises(ValueError):
+        format_series_table([s1, s2])
+    with pytest.raises(ValueError):
+        format_series_table([])
+
+
+def test_series_table_contents():
+    s1 = make_series("one", [(10, 1.0), (100, 2.0)])
+    s2 = make_series("two", [(10, 3.0), (100, 4.0)])
+    out = format_series_table([s1, s2])
+    assert "one" in out and "two" in out and "100" in out
+
+
+def test_logx_plot_renders_markers_and_legend():
+    s = make_series("clic", [(10, 100.0), (1000, 300.0), (100000, 500.0)])
+    out = logx_plot([s], width=40, height=10)
+    assert "o clic" in out
+    assert out.count("o") >= 3  # three plotted points (plus legend char)
+    assert "1e3" in out
+
+
+def test_logx_plot_validates_input():
+    with pytest.raises(ValueError):
+        logx_plot([])
+    s = make_series("zero", [(0, 1.0)])
+    with pytest.raises(ValueError):
+        logx_plot([s])
+
+
+def test_half_bandwidth_interpolation():
+    sizes = [10, 100, 1_000, 10_000]
+    mbps = [10.0, 40.0, 90.0, 100.0]
+    half = interpolate_half_bandwidth(sizes, mbps)  # target 50
+    assert 100 < half < 1_000
+    # Already above half at the first point.
+    assert interpolate_half_bandwidth([10, 100], [60.0, 100.0]) == 10.0
+    with pytest.raises(ValueError):
+        interpolate_half_bandwidth([], [])
+
+
+def test_size_reaching():
+    sizes = [10, 100, 1_000]
+    mbps = [10.0, 50.0, 100.0]
+    assert size_reaching(sizes, mbps, 50.0) == pytest.approx(100.0)
+    assert size_reaching(sizes, mbps, 500.0) is None
+    mid = size_reaching(sizes, mbps, 75.0)
+    assert 100 < mid < 1_000
+
+
+def test_crossover_and_ratio():
+    sizes = [1, 2, 3]
+    a = [10.0, 10.0, 5.0]
+    b = [1.0, 1.0, 8.0]
+    assert crossover_size(sizes, a, b) == 3
+    assert crossover_size(sizes, a, [0.0, 0.0, 0.0]) is None
+    assert ratio_at(sizes, a, b, 1) == 10.0
+    with pytest.raises(ZeroDivisionError):
+        ratio_at(sizes, a, [0.0, 1.0, 1.0], 1)
+
+
+def test_timeline_extraction_from_real_trace():
+    from repro.analysis import extract_packet_timeline
+    from repro.cluster import Cluster
+    from repro.config import granada2003
+    from repro.protocols.clic import ClicEndpoint
+
+    cluster = Cluster(granada2003(trace=True))
+    p0, p1 = cluster.nodes[0].spawn(), cluster.nodes[1].spawn()
+    ep0, ep1 = ClicEndpoint(p0, 1), ClicEndpoint(p1, 1)
+
+    def a(proc):
+        yield from ep0.send(1, 1400)
+
+    def b(proc):
+        yield from ep1.recv()
+
+    p0.run(a)
+    done = p1.run(b)
+    cluster.env.run(done)
+    pkt = [r for r in cluster.trace.records if r.event == "driver_tx"][0].detail["pkt"]
+    timeline = extract_packet_timeline(cluster.trace, pkt, "node0", "node1")
+    names = [s.name for s in timeline.stages]
+    assert "NIC DMA + flight" in names
+    assert timeline.total_us > 0
+    # Stages are contiguous and ordered.
+    for first, second in zip(timeline.stages, timeline.stages[1:]):
+        assert first.end_ns == second.start_ns
+    rows = timeline.as_rows()
+    assert len(rows) == len(timeline.stages)
+    with pytest.raises(KeyError):
+        timeline.stage("nonexistent")
+
+
+def test_timeline_missing_packet_raises():
+    from repro.analysis import extract_packet_timeline
+    from repro.sim import Trace
+
+    with pytest.raises(ValueError, match="missing"):
+        extract_packet_timeline(Trace(enabled=True), 999, "node0", "node1")

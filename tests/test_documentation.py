@@ -1,0 +1,50 @@
+"""Documentation guards: every public module, class and function in the
+library carries a docstring (deliverable (e) of the reproduction)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_every_module_has_a_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for mname, method in vars(obj).items():
+                    if mname.startswith("_") or not inspect.isfunction(method):
+                        continue
+                    if not (method.__doc__ and method.__doc__.strip()):
+                        undocumented.append(f"{name}.{mname}")
+    assert not undocumented, f"{module.__name__}: missing docstrings on {undocumented}"
+
+
+def test_package_exposes_version():
+    assert repro.__version__

@@ -1,0 +1,81 @@
+"""Tests for the transport adapters' uniform interface."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import granada2003
+from repro.workloads import (
+    clic_pair,
+    gamma_pair,
+    pingpong,
+    tcp_pair,
+    via_pair,
+)
+
+
+def test_clic_adapter_size_mismatch_detected():
+    cluster = Cluster(granada2003())
+    setup = clic_pair()
+    p0, p1 = cluster.nodes[0].spawn(), cluster.nodes[1].spawn()
+    ep_a, ep_b = setup(p0, p1)
+
+    def a(proc):
+        yield from ep_a.send(100)
+
+    def b(proc):
+        yield from ep_b.recv(999)  # wrong expectation
+
+    p0.run(a)
+    done = p1.run(b)
+    with pytest.raises(AssertionError):
+        cluster.env.run(done)
+
+
+def test_clic_pair_fresh_ports_do_not_collide():
+    """Two setups on the same cluster must not cross-deliver."""
+    cluster = Cluster(granada2003())
+    setup1, setup2 = clic_pair(), clic_pair()
+    pa1, pb1 = cluster.nodes[0].spawn(), cluster.nodes[1].spawn()
+    pa2, pb2 = cluster.nodes[0].spawn(), cluster.nodes[1].spawn()
+    a1, b1 = setup1(pa1, pb1)
+    a2, b2 = setup2(pa2, pb2)
+    got = []
+
+    def send1(proc):
+        yield from a1.send(111)
+
+    def recv1(proc):
+        msg = yield from b1.recv(111)
+        got.append(("one", msg.nbytes))
+
+    def send2(proc):
+        yield from a2.send(222)
+
+    def recv2(proc):
+        msg = yield from b2.recv(222)
+        got.append(("two", msg.nbytes))
+
+    pa1.run(send1)
+    pb1.run(recv1)
+    pa2.run(send2)
+    pb2.run(recv2)
+    cluster.env.run(until=10e6)
+    assert sorted(got) == [("one", 111), ("two", 222)]
+
+
+def test_tcp_adapter_zero_byte_rides_one_byte_probe():
+    cluster = Cluster(granada2003())
+    result = pingpong(cluster, tcp_pair(), 0, repeats=1, warmup=0)
+    assert result.rtt_ns > 0
+
+
+@pytest.mark.parametrize(
+    "protocols,pair_factory",
+    [(("clic", "tcp"), clic_pair), (("clic", "tcp"), tcp_pair),
+     (("gamma",), gamma_pair), (("via",), via_pair)],
+)
+def test_all_adapters_roundtrip_uniformly(protocols, pair_factory):
+    cluster = Cluster(granada2003(), protocols=protocols)
+    result = pingpong(cluster, pair_factory(), 5_000, repeats=1, warmup=1)
+    assert result.nbytes == 5_000
+    assert result.bandwidth_mbps > 0
