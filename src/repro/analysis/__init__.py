@@ -10,7 +10,12 @@ from .metrics import (
     size_reaching,
 )
 from .tables import format_series_table, format_table
-from .timeline import PacketTimeline, Stage, extract_packet_timeline
+from .timeline import (
+    PacketTimeline,
+    Stage,
+    extract_packet_timeline,
+    extract_packet_timeline_from_spans,
+)
 
 __all__ = [
     "PacketTimeline",
@@ -20,6 +25,7 @@ __all__ = [
     "Stage",
     "crossover_size",
     "extract_packet_timeline",
+    "extract_packet_timeline_from_spans",
     "format_series_table",
     "format_table",
     "interpolate_half_bandwidth",

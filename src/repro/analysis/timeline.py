@@ -4,7 +4,15 @@ Figure 7 shows where the microseconds go for a single 1400-byte packet
 crossing the CLIC pipeline: sender syscall + CLIC_MODULE + driver, wire
 flight, receiver driver-interrupt stage (the dominant ~15 µs), bottom
 halves -> CLIC_MODULE, and the copy into user memory.  This module
-reconstructs those stages from the simulator's trace records.
+reconstructs those stages two ways:
+
+* :func:`extract_packet_timeline` from the flat trace-record stream
+  (the original path, now using the trace's per-event index);
+* :func:`extract_packet_timeline_from_spans` from the structured spans
+  emitted by :class:`repro.obs.Tracer` — a set of lookups instead of
+  record scans.  Both produce identical stage boundaries because the
+  spans are begun/ended at exactly the simulated times the legacy
+  records are emitted.
 """
 
 from __future__ import annotations
@@ -12,9 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..obs import Tracer
 from ..sim import Trace, TraceRecord
 
-__all__ = ["Stage", "PacketTimeline", "extract_packet_timeline"]
+__all__ = [
+    "Stage",
+    "PacketTimeline",
+    "extract_packet_timeline",
+    "extract_packet_timeline_from_spans",
+]
 
 
 @dataclass
@@ -56,19 +70,28 @@ class PacketTimeline:
         return [(s.name, round(s.start_ns / 1000, 2), round(s.duration_us, 2)) for s in self.stages]
 
 
-def _first(records: List[TraceRecord], source_suffix: str, event: str, **detail) -> Optional[TraceRecord]:
-    for r in records:
-        if not r.source.endswith(source_suffix) and source_suffix:
-            continue
-        if r.event != event:
-            continue
-        if all(r.detail.get(k) == v for k, v in detail.items()):
-            return r
-    return None
+def _require(packet_id: int, **found) -> None:
+    missing = [name for name, rec in found.items() if rec is None]
+    if missing:
+        raise ValueError(f"trace incomplete for packet {packet_id}: missing {missing}")
+
+
+def _build_stages(packet_id: int, sys_enter_ns: float, drv_tx_ns: float,
+                  irq_begin_ns: float, drv_rx_ns: float, mod_rx_ns: float,
+                  wake_ns: Optional[float]) -> PacketTimeline:
+    stages = [
+        Stage("sender: syscall + CLIC_MODULE + driver", sys_enter_ns, drv_tx_ns),
+        Stage("NIC DMA + flight", drv_tx_ns, irq_begin_ns),
+        Stage("receiver: driver interrupt (NIC->system copy)", irq_begin_ns, drv_rx_ns),
+        Stage("bottom halves -> CLIC_MODULE", drv_rx_ns, mod_rx_ns),
+    ]
+    if wake_ns is not None:
+        stages.append(Stage("CLIC_MODULE copy to user + wake", mod_rx_ns, wake_ns))
+    return PacketTimeline(packet_id=packet_id, stages=stages)
 
 
 def extract_packet_timeline(trace: Trace, packet_id: int, sender: str, receiver: str) -> PacketTimeline:
-    """Rebuild Figure 7's stages for ``packet_id``.
+    """Rebuild Figure 7's stages for ``packet_id`` from trace records.
 
     ``sender``/``receiver`` are node name prefixes ("node0", "node1").
     Expected trace records (all emitted by the kernel/driver/module):
@@ -78,45 +101,71 @@ def extract_packet_timeline(trace: Trace, packet_id: int, sender: str, receiver:
     * receiver: ``irq_begin``, ``driver_rx`` (with ``t0``), ``module_rx``,
       and the receive syscall/wake records.
     """
-    records = trace.records
-    sys_enter = _first(records, f"{sender}.kernel", "syscall_enter", label="clic_send")
-    drv_tx = _first(records, "", "driver_tx", pkt=packet_id)
-    drv_rx = _first(records, "", "driver_rx", pkt=packet_id)
-    mod_rx = _first(records, f"{receiver}.clic", "module_rx", pkt=packet_id)
-    if sys_enter is None or drv_tx is None or drv_rx is None or mod_rx is None:
-        missing = [
-            name
-            for name, rec in [
-                ("syscall_enter", sys_enter),
-                ("driver_tx", drv_tx),
-                ("driver_rx", drv_rx),
-                ("module_rx", mod_rx),
-            ]
-            if rec is None
-        ]
-        raise ValueError(f"trace incomplete for packet {packet_id}: missing {missing}")
+    sys_enter = trace.first("syscall_enter", source_suffix=f"{sender}.kernel", label="clic_send")
+    drv_tx = trace.first("driver_tx", pkt=packet_id)
+    drv_rx = trace.first("driver_rx", pkt=packet_id)
+    mod_rx = trace.first("module_rx", source_suffix=f"{receiver}.clic", pkt=packet_id)
+    _require(packet_id, syscall_enter=sys_enter, driver_tx=drv_tx,
+             driver_rx=drv_rx, module_rx=mod_rx)
 
-    irq_begin = None
-    for r in records:
-        if r.event == "irq_begin" and r.source.startswith(receiver) and r.time <= r.time:
-            if r.time <= drv_rx.time:
-                irq_begin = r
-    if irq_begin is None:
+    # The interrupt this frame was drained in: the *latest* irq_begin on
+    # the receiver at or before the frame's driver_rx (coalescing means
+    # earlier interrupts may have serviced earlier frames).
+    candidates = [
+        r for r in trace.by_event("irq_begin")
+        if r.source.startswith(receiver) and r.time <= drv_rx.time
+    ]
+    if not candidates:
         raise ValueError("no irq_begin before driver_rx")
+    irq_begin = max(candidates, key=lambda r: r.time)
 
     # Wake of the receiving process (first wake after module_rx), if any.
     wake = None
-    for r in records:
-        if r.event == "wake" and r.source.startswith(receiver) and r.time >= mod_rx.time:
+    for r in trace.by_event("wake"):
+        if r.source.startswith(receiver) and r.time >= mod_rx.time:
             wake = r
             break
 
-    stages = [
-        Stage("sender: syscall + CLIC_MODULE + driver", sys_enter.time, drv_tx.time),
-        Stage("NIC DMA + flight", drv_tx.time, irq_begin.time),
-        Stage("receiver: driver interrupt (NIC->system copy)", irq_begin.time, drv_rx.time),
-        Stage("bottom halves -> CLIC_MODULE", drv_rx.time, mod_rx.time),
+    return _build_stages(
+        packet_id, sys_enter.time, drv_tx.time, irq_begin.time, drv_rx.time,
+        mod_rx.time, wake.time if wake is not None else None,
+    )
+
+
+def extract_packet_timeline_from_spans(
+    tracer: Tracer, packet_id: int, sender: str, receiver: str
+) -> PacketTimeline:
+    """Rebuild Figure 7's stages for ``packet_id`` from structured spans.
+
+    Pure index lookups on the :class:`~repro.obs.Tracer`: the sender's
+    ``syscall`` span (label ``clic_send``), the ``driver_tx`` /
+    ``driver_rx`` / ``module_rx`` instants for the packet, the latest
+    receiver ``irq`` span enclosing the frame drain, and the receiver's
+    first ``wake`` instant after module processing.  Stage boundaries are
+    identical to :func:`extract_packet_timeline` by construction.
+    """
+    sys_span = tracer.first(scope=f"{sender}.kernel", name="syscall", label="clic_send")
+    drv_tx = tracer.first_instant("driver_tx", pkt=packet_id)
+    drv_rx = tracer.first_instant("driver_rx", pkt=packet_id)
+    mod_rx = tracer.first_instant("module_rx", scope_prefix=receiver, pkt=packet_id)
+    _require(packet_id, syscall_span=sys_span, driver_tx=drv_tx,
+             driver_rx=drv_rx, module_rx=mod_rx)
+
+    irq_spans = [
+        s for s in tracer.find(name="irq", scope_prefix=receiver)
+        if s.start_ns <= drv_rx.time
     ]
-    if wake is not None:
-        stages.append(Stage("CLIC_MODULE copy to user + wake", mod_rx.time, wake.time))
-    return PacketTimeline(packet_id=packet_id, stages=stages)
+    if not irq_spans:
+        raise ValueError("no irq span before driver_rx")
+    irq_span = max(irq_spans, key=lambda s: s.start_ns)
+
+    wake = None
+    for inst in tracer.instants("wake", scope_prefix=receiver):
+        if inst.time >= mod_rx.time:
+            wake = inst
+            break
+
+    return _build_stages(
+        packet_id, sys_span.start_ns, drv_tx.time, irq_span.start_ns,
+        drv_rx.time, mod_rx.time, wake.time if wake is not None else None,
+    )

@@ -17,6 +17,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..config import ClusterConfig
 from ..hw import Channel, Switch
+from ..obs import MetricsRegistry, Tracer
 from ..sim import Environment, RngStreams, Trace
 from .node import Node, mac_for
 
@@ -24,6 +25,31 @@ __all__ = ["Cluster"]
 
 _PULL_PROTOCOLS = {"clic", "tcp"}
 _PUSH_PROTOCOLS = {"gamma", "via"}
+
+
+def _reset_global_ids() -> None:
+    """Restart the process-global bookkeeping id counters.
+
+    Packet / sk_buff / frame / descriptor / pid ids come from module-level
+    ``itertools.count`` objects that keep counting across cluster builds
+    within one Python process.  They model nothing (pure bookkeeping) but
+    leak into trace records and span attributes, so restarting them per
+    cluster makes two same-seed runs byte-identical — including their
+    span and Chrome-trace exports.
+    """
+    import itertools
+
+    from ..hw.nic import base as nic_base
+    from ..hw.nic import frames as nic_frames
+    from ..oskernel import process as osk_process
+    from ..oskernel import skbuff as osk_skbuff
+    from ..protocols import headers
+
+    nic_base._desc_ids = itertools.count(1)
+    nic_frames._frame_ids = itertools.count(1)
+    osk_process._pids = itertools.count(1)
+    osk_skbuff._skb_ids = itertools.count(1)
+    headers._packet_ids = itertools.count(1)
 
 
 class Cluster:
@@ -51,9 +77,14 @@ class Cluster:
             )
         rx_mode = "push" if set(self.protocols) & _PUSH_PROTOCOLS else "irq-pull"
 
-        self.env = Environment()
+        _reset_global_ids()
+        self.env = Environment(profile=getattr(self.cfg, "profile", False))
         self.rng = RngStreams(self.cfg.seed)
         self.trace = Trace(enabled=self.cfg.trace)
+        #: cluster-wide span tracer (see repro.obs.span); shares the Trace
+        self.tracer = Tracer(self.env, self.trace)
+        #: cluster-wide typed metrics namespace (counters/gauges/histograms)
+        self.metrics = MetricsRegistry()
         self.switch = Switch(self.env, self.cfg.link)
         self.nodes: List[Node] = []
 
@@ -66,6 +97,8 @@ class Cluster:
                 node_id,
                 trace=self.trace,
                 rx_mode=rx_mode,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
             self.nodes.append(node)
             for ch, nic in enumerate(node.nics):

@@ -14,6 +14,7 @@ from typing import Generator, List, Optional
 from ..config import LinkParams, NodeConfig
 from ..hw import Cpu, MemoryBus, PciBus
 from ..hw.nic import MacAddress, Nic
+from ..obs import MetricsRegistry, Tracer
 from ..oskernel import Kernel, UserProcess, VendorDriver
 from ..sim import Environment, Trace
 
@@ -43,6 +44,8 @@ class Node:
         name: str = "",
         trace: Optional[Trace] = None,
         rx_mode: str = "irq-pull",
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.cfg = cfg
@@ -55,8 +58,13 @@ class Node:
         self.memory = MemoryBus(env, cfg.memory, name=f"{self.name}.mem")
         self.pci = PciBus(env, cfg.pci, name=f"{self.name}.pci")
         self.kernel = Kernel(
-            env, cfg.kernel, self.cpu, self.memory, name=f"{self.name}.kernel", trace=trace
+            env, cfg.kernel, self.cpu, self.memory, name=f"{self.name}.kernel",
+            trace=trace, tracer=tracer, metrics=metrics,
         )
+        #: the node's span tracer / metrics registry (shared cluster-wide
+        #: when built by Cluster; private otherwise)
+        self.tracer = self.kernel.tracer
+        self.metrics = self.kernel.metrics
         self.nics: List[Nic] = []
         self.drivers: List[VendorDriver] = []
         for ch in range(cfg.nic_count):
@@ -68,6 +76,8 @@ class Node:
                 mac_for(node_id, ch),
                 name=f"{self.name}.nic{ch}",
                 rx_deliver=rx_mode,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
             self.nics.append(nic)
             self.drivers.append(

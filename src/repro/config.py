@@ -350,6 +350,8 @@ class ClusterConfig:
     pvm: PvmParams = field(default_factory=PvmParams)
     seed: int = 2003
     trace: bool = False
+    #: attach an event-loop profiler to the Environment (repro.obs.profile)
+    profile: bool = False
 
     def with_node(self, node: NodeConfig) -> "ClusterConfig":
         """Copy of this cluster config with the node config replaced."""
@@ -397,6 +399,7 @@ def granada2003(
     num_nodes: int = 2,
     trace: bool = False,
     seed: int = 2003,
+    profile: bool = False,
 ) -> ClusterConfig:
     """The calibrated testbed of the paper.
 
@@ -406,4 +409,5 @@ def granada2003(
     (jumbo frames, 0-copy, coalesced interrupts).
     """
     node = NodeConfig().with_mtu(mtu).with_zero_copy(zero_copy)
-    return ClusterConfig(node=node, num_nodes=num_nodes, trace=trace, seed=seed)
+    return ClusterConfig(node=node, num_nodes=num_nodes, trace=trace, seed=seed,
+                         profile=profile)

@@ -31,7 +31,7 @@ TRANSFER = 2_000_000
 
 
 def _measure(setup_factory) -> Dict:
-    cluster = Cluster(granada2003(mtu=MTU_JUMBO))
+    cluster = Cluster(granada2003(mtu=MTU_JUMBO, profile=True))
     result = stream(cluster, setup_factory(), TRANSFER, messages=1)
     rx = cluster.nodes[1]
     return {
@@ -40,6 +40,14 @@ def _measure(setup_factory) -> Dict:
         "elapsed_ns": result.elapsed_ns,
         "mbps": result.bandwidth_mbps,
         "busy_ns": rx.cpu.busy.total_busy,
+        # Where the *simulator* spent its events (obs profiling hooks).
+        "sim_profile": cluster.env.profiler.snapshot(),
+        # Receiver-side typed metrics, e.g. bottom-half queue high-water.
+        "rx_metrics": {
+            name: inst.as_dict()
+            for name, inst in cluster.metrics.items()
+            if name.startswith(rx.name)
+        },
     }
 
 

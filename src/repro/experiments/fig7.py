@@ -21,9 +21,14 @@ Shape checks:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
-from ..analysis import extract_packet_timeline, format_table
+from ..analysis import (
+    PacketTimeline,
+    Stage,
+    extract_packet_timeline_from_spans,
+    format_table,
+)
 from ..cluster import Cluster
 from ..config import granada2003
 from ..protocols.clic import ClicEndpoint
@@ -33,7 +38,15 @@ EXPERIMENT_ID = "FIG7"
 PACKET_BYTES = 1400
 
 
-def _measure(direct_rx: bool) -> Dict:
+def capture(direct_rx: bool = False) -> Tuple[Cluster, int, PacketTimeline, float]:
+    """Run the single-packet exchange and keep the instrumented cluster.
+
+    Returns ``(cluster, packet_id, timeline, done_ns)`` — the cluster
+    (with its trace, tracer and metrics still attached), the data
+    packet's id, its extracted Figure-7 timeline, and the simulated time
+    the receiver completed.  Used by :func:`run` and by the
+    ``python -m repro.trace`` exporter.
+    """
     cfg = granada2003(trace=True)
     if direct_rx:
         cfg = cfg.with_node(cfg.node.with_direct_rx(True))
@@ -55,26 +68,45 @@ def _measure(direct_rx: bool) -> Dict:
     cluster.env.run(done)
 
     # The single data packet is the first CLIC DATA packet traced.
-    drv_tx = [r for r in cluster.trace.records if r.event == "driver_tx"][0]
-    pkt_id = drv_tx.detail["pkt"]
+    pkt_id = cluster.trace.first("driver_tx").detail["pkt"]
     if direct_rx:
-        # No bottom-half records in direct mode: build a reduced timeline.
-        records = cluster.trace.records
-        sys_enter = next(r for r in records if r.event == "syscall_enter" and r.detail.get("label") == "clic_send")
-        irq_begin = next(r for r in records if r.event == "irq_begin" and r.source.startswith("node1"))
-        drv_rx = next(r for r in records if r.event == "driver_rx" and r.detail.get("pkt") == pkt_id)
-        wake = next(r for r in records if r.event == "wake" and r.source.startswith("node1"))
-        stages = [
-            ("sender: syscall + CLIC_MODULE + driver", (drv_tx.time - sys_enter.time) / 1000),
-            ("NIC DMA + flight", (irq_begin.time - drv_tx.time) / 1000),
-            ("receiver: driver interrupt (direct DMA)", (drv_rx.time - irq_begin.time) / 1000),
-            ("CLIC_MODULE direct call + copy + wake", (wake.time - drv_rx.time) / 1000),
-        ]
-        total = (outcome["done"] - 0) / 1000
-        return {"stages": stages, "total_us": total,
-                "sw_rx_us": stages[3][1], "driver_int_us": stages[2][1]}
-    timeline = extract_packet_timeline(cluster.trace, pkt_id, "node0", "node1")
+        timeline = _direct_timeline(cluster, pkt_id)
+    else:
+        timeline = extract_packet_timeline_from_spans(
+            cluster.tracer, pkt_id, "node0", "node1"
+        )
+    return cluster, pkt_id, timeline, outcome["done"]
+
+
+def _direct_timeline(cluster: Cluster, pkt_id: int) -> PacketTimeline:
+    """Reduced timeline for Figure 8(b): no bottom-half hop to anchor on,
+    so the post-DMA stage runs straight from driver_rx to the wake."""
+    trace = cluster.trace
+    sys_enter = trace.first("syscall_enter", label="clic_send")
+    drv_tx = trace.first("driver_tx", pkt=pkt_id)
+    irq_begin = trace.first("irq_begin", source_prefix="node1")
+    drv_rx = trace.first("driver_rx", pkt=pkt_id)
+    wake = trace.first("wake", source_prefix="node1")
+    missing = [name for name, rec in [
+        ("syscall_enter", sys_enter), ("driver_tx", drv_tx),
+        ("irq_begin", irq_begin), ("driver_rx", drv_rx), ("wake", wake),
+    ] if rec is None]
+    if missing:
+        raise ValueError(f"trace incomplete for packet {pkt_id}: missing {missing}")
+    return PacketTimeline(packet_id=pkt_id, stages=[
+        Stage("sender: syscall + CLIC_MODULE + driver", sys_enter.time, drv_tx.time),
+        Stage("NIC DMA + flight", drv_tx.time, irq_begin.time),
+        Stage("receiver: driver interrupt (direct DMA)", irq_begin.time, drv_rx.time),
+        Stage("CLIC_MODULE direct call + copy + wake", drv_rx.time, wake.time),
+    ])
+
+
+def _measure(direct_rx: bool) -> Dict:
+    cluster, pkt_id, timeline, done_ns = capture(direct_rx)
     stages = [(s.name, s.duration_us) for s in timeline.stages]
+    if direct_rx:
+        return {"stages": stages, "total_us": done_ns / 1000,
+                "sw_rx_us": stages[3][1], "driver_int_us": stages[2][1]}
     sw_rx = timeline.stage("bottom halves -> CLIC_MODULE").duration_us + (
         timeline.stages[4].duration_us if len(timeline.stages) > 4 else 0.0
     )

@@ -2,12 +2,19 @@
 
 ``python -m repro.experiments <id> [--full]`` runs one experiment and
 prints its report; ``all`` runs the whole battery (the contents of
-EXPERIMENTS.md).
+EXPERIMENTS.md).  With ``--json PATH`` the result dicts (minus the
+printable report) are also written as schema-tagged
+:class:`~repro.obs.RunArtifact` JSON — one artifact for a single
+experiment, a ``repro.run-batch/1`` document for ``all``.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Callable, Dict
+
+from ..obs import RunArtifact, jsonable
+from ..obs.export import BATCH_SCHEMA
 
 from . import (
     ablations,
@@ -62,10 +69,30 @@ def main(argv=None) -> int:
         "--full", action="store_true",
         help="use the paper's full 10^1..10^7 size grid (slower)",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the result dict(s) (minus report) as RunArtifact JSON",
+    )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    artifacts = []
     for name in names:
         result = run_experiment(name, quick=not args.full)
         print(result["report"])
         print()
+        if args.json:
+            artifacts.append(RunArtifact(
+                experiment=name,
+                quick=not args.full,
+                result={k: jsonable(v) for k, v in result.items() if k != "report"},
+            ))
+    if args.json:
+        if len(artifacts) == 1:
+            artifacts[0].write(args.json)
+        else:
+            batch = {"schema": BATCH_SCHEMA, "runs": [a.to_dict() for a in artifacts]}
+            with open(args.json, "w") as fh:
+                json.dump(batch, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        print(f"wrote {args.json}")
     return 0

@@ -32,6 +32,7 @@ from typing import Any, Callable, Generator, List, Optional
 from typing import TYPE_CHECKING
 
 from ...config import LinkParams, NicParams
+from ...obs import MetricsRegistry, Tracer
 from ...sim import Counters, Environment, Event, Store
 from ..pci import PciBus
 
@@ -82,6 +83,8 @@ class Nic:
         mac: MacAddress,
         name: str = "nic",
         rx_deliver: str = "irq-pull",
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if rx_deliver not in ("irq-pull", "push"):
             raise ValueError(f"unknown rx_deliver mode {rx_deliver!r}")
@@ -92,7 +95,11 @@ class Nic:
         self.mac = mac
         self.name = name
         self.rx_deliver = rx_deliver
-        self.counters = Counters()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(env, None, enabled=False)
+        self.counters = Counters(registry=self.metrics, prefix=f"{name}.")
+        #: frames waiting on-card for the driver (high-water via gauge)
+        self._rx_depth_gauge = self.metrics.gauge(f"{name}.rx_buffer_depth")
 
         self._tx_ring: Store = Store(env, capacity=params.tx_ring_slots, name=f"{name}.txring")
         self._rx_buffer: List[RxFrame] = []  # bounded by rx_ring_slots
@@ -175,6 +182,7 @@ class Nic:
     def _tx_pump(self) -> Generator:
         while True:
             desc: TxDescriptor = yield self._tx_ring.get()
+            span = self.tracer.begin(self.name, "nic_tx", nbytes=desc.payload_bytes)
             # Bus-master DMA: fetch the payload (plus headers) across PCI.
             yield from self.pci.dma(desc.payload_bytes, priority=2, label=f"{self.name}.tx")
             mtu = self.params.effective_mtu()
@@ -205,6 +213,7 @@ class Nic:
                 yield self._tx_fifo.put((frame, on_wire))
             if desc.from_user_memory:
                 self.counters.add("tx_zero_copy")
+            span.end(frames=len(pieces))
 
     def _wire_pump(self) -> Generator:
         """Drain the on-card FIFO onto the wire (overlaps host DMA)."""
@@ -220,6 +229,7 @@ class Nic:
     # receive path
     # ------------------------------------------------------------------
     def _rx_process(self, rx: RxFrame) -> Generator:
+        span = self.tracer.begin(self.name, "nic_rx", nbytes=rx.frame.payload_bytes)
         yield self.env.timeout(self.params.frame_processing_ns)
         marker = rx.frame.payload if isinstance(rx.frame.payload, _FragmentMarker) else None
         if marker is not None and self.params.supports_fragmentation:
@@ -227,6 +237,7 @@ class Nic:
             acc = self._reassembly.setdefault(marker.desc_id, [0])
             acc[0] += rx.frame.payload_bytes
             if not marker.last:
+                span.end(reassembling=True)
                 return
             total = acc[0]
             del self._reassembly[marker.desc_id]
@@ -245,8 +256,11 @@ class Nic:
             rx.in_host_memory = True
             if self.push_callback is not None:
                 self.push_callback(rx)
+            span.end(pushed=True)
             return
         self._rx_buffer.append(rx)
+        self._rx_depth_gauge.set(len(self._rx_buffer))
+        span.end()
         self.coalescer.note_frame()
 
     def _assert_irq(self) -> None:
@@ -274,6 +288,7 @@ class Nic:
         if not self._rx_buffer:
             raise RuntimeError(f"{self.name}: no pending rx frame")
         rx = self._rx_buffer.pop(0)
+        self._rx_depth_gauge.set(len(self._rx_buffer))
         yield from self.pci.dma(rx.frame.payload_bytes, priority=2, label=f"{self.name}.rx")
         rx.in_host_memory = True
         return rx

@@ -1,0 +1,54 @@
+"""Observability: structured spans, typed metrics, profiling, exporters.
+
+This package is the measurement layer of the reproduction — the paper's
+contributions *are* measurements (Figure 7's per-stage microsecond
+breakdown, Section 2's interrupt accounting), so every experiment
+reports its numbers through the instruments here:
+
+* :mod:`repro.obs.span` — span-based structured tracing (``begin``/
+  ``end`` with parent links and per-node/per-subsystem scopes such as
+  ``node0.clic``), layered on the flat :class:`repro.sim.Trace`;
+* :mod:`repro.obs.metrics` — typed instruments (:class:`Counter`,
+  :class:`Gauge`, :class:`Histogram` with streaming p50/p95/p99) behind
+  a :class:`MetricsRegistry`;
+* :mod:`repro.obs.profile` — event-loop profiling hooks for
+  :class:`repro.sim.Environment` (events per process, queue high-water);
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto /
+  ``chrome://tracing``) and the per-run :class:`RunArtifact` JSON.
+
+The package deliberately imports nothing from :mod:`repro.sim` so the
+simulation kernel can build *on top of* the instruments (``repro.sim``
+-> ``repro.obs``, never the other way).
+"""
+
+from .export import (
+    RUN_SCHEMA,
+    RunArtifact,
+    chrome_trace_events,
+    chrome_trace_json,
+    jsonable,
+    records_of,
+    spans_of,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import EnvProfiler
+from .span import NULL_SPAN, Instant, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "EnvProfiler",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "RUN_SCHEMA",
+    "RunArtifact",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "jsonable",
+    "records_of",
+    "spans_of",
+]

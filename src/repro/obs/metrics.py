@@ -1,0 +1,253 @@
+"""Typed metric instruments and the registry that names them.
+
+Three instrument kinds, mirroring what the experiments actually report:
+
+* :class:`Counter` — monotonically increasing tallies (interrupts,
+  packets, retransmissions, copied bytes);
+* :class:`Gauge` — a sampled level with high/low water marks (bottom-half
+  queue depth, NIC rx-buffer occupancy);
+* :class:`Histogram` — log-bucketed value distribution with streaming
+  p50/p95/p99 (syscall latency, message sizes).  Bucket boundaries grow
+  geometrically by ``growth``, so every percentile estimate carries a
+  bounded *relative* error of at most ``growth - 1`` (5% by default).
+
+A :class:`MetricsRegistry` is a flat namespace of instruments keyed by
+dotted names (``node1.kernel.syscall_ns``); one registry is shared by a
+whole cluster so a run's metrics snapshot is a single dict.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter by ``amount`` (must not be negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount!r})")
+        self.value += amount
+
+    def as_dict(self) -> float:
+        """Snapshot form: counters export as their bare value."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value!r})"
+
+
+class Gauge:
+    """A sampled level that remembers its extremes."""
+
+    __slots__ = ("name", "value", "high_water", "low_water", "samples")
+
+    kind = "gauge"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value: float = 0.0
+        self.high_water: float = float("-inf")
+        self.low_water: float = float("inf")
+        self.samples: int = 0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+        self.samples += 1
+        if value > self.high_water:
+            self.high_water = value
+        if value < self.low_water:
+            self.low_water = value
+
+    def inc(self, delta: float = 1.0) -> None:
+        """Raise the level by ``delta``."""
+        self.set(self.value + delta)
+
+    def dec(self, delta: float = 1.0) -> None:
+        """Lower the level by ``delta``."""
+        self.set(self.value - delta)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot form: level plus extremes."""
+        return {
+            "value": self.value,
+            "high_water": self.high_water if self.samples else 0.0,
+            "low_water": self.low_water if self.samples else 0.0,
+            "samples": self.samples,
+        }
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value!r}, high={self.high_water!r})"
+
+
+class Histogram:
+    """Log-bucketed distribution with streaming percentiles.
+
+    Positive samples land in geometric buckets ``[growth^i, growth^(i+1))``;
+    zero and negative samples are kept in a dedicated underflow bucket so
+    ``count``/``min``/``max`` stay exact.  A percentile query walks the
+    buckets and answers with the geometric midpoint of the bucket holding
+    the requested rank, clamped into ``[min, max]`` — so the estimate is
+    within a factor ``growth`` of the sorted-list oracle.
+    """
+
+    __slots__ = ("name", "growth", "_log_growth", "_buckets", "_underflow",
+                 "count", "total", "minimum", "maximum")
+
+    kind = "histogram"
+
+    def __init__(self, name: str = "", growth: float = 1.05):
+        if growth <= 1.0:
+            raise ValueError(f"growth must exceed 1 (got {growth!r})")
+        self.name = name
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+        self._underflow = 0  # samples <= 0
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    # -- recording -------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Fold one sample into the distribution."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value <= 0:
+            self._underflow += 1
+            return
+        idx = int(math.floor(math.log(value) / self._log_growth))
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    #: alias kept for IntervalStats-style call sites
+    observe = record
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile (0 <= p <= 100)."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p!r} out of [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        if rank <= self._underflow:
+            return min(self.minimum, 0.0)
+        seen = self._underflow
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= rank:
+                mid = math.exp((idx + 0.5) * self._log_growth)
+                return min(max(mid, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - rank <= count always hits
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot form: exact moments plus streaming percentiles."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, p50={self.p50:.3g})"
+
+
+class MetricsRegistry:
+    """A flat, typed namespace of instruments.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create; asking for an
+    existing name with a different kind is a programming error and
+    raises immediately.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+
+    # -- get-or-create ---------------------------------------------------
+    def _get(self, name: str, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, *args)
+            self._instruments[name] = inst
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {inst.kind}, not a {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, growth: float = 1.05) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get(name, Histogram, growth)
+
+    # -- introspection ---------------------------------------------------
+    def peek(self, name: str):
+        """The instrument called ``name``, or ``None`` (never creates)."""
+        return self._instruments.get(name)
+
+    def discard(self, name: str) -> None:
+        """Remove an instrument (no error when absent)."""
+        self._instruments.pop(name, None)
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """(name, instrument) pairs sorted by name."""
+        return iter(sorted(self._instruments.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        """name -> plain value (counters) or stats dict, sorted by name."""
+        return {name: inst.as_dict() for name, inst in self.items()}
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {len(self._instruments)} instruments>"

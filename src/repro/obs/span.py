@@ -1,0 +1,300 @@
+"""Span-based structured tracing layered on the simulation event loop.
+
+A :class:`Span` is a named interval of simulated time inside a *scope*
+(``node0.kernel``, ``node1.eth0``, ``node1.clic`` — node + subsystem).
+Spans carry parent links: the parent of a new span is the innermost
+span still open *in the same simulated process*, which matches how the
+generator-based components actually nest (a syscall span opened by a
+user process never becomes the parent of an interrupt handler that
+merely fires while the process sleeps — the handler runs in its own
+sim process and gets its own stack).
+
+The :class:`Tracer` also emits every begin/end into the flat
+:class:`repro.sim.Trace` (events ``span_begin``/``span_end``) so the
+classic record stream stays a superset of the old format, and it keeps
+an index of *instant* (point) events so Figure-7 stage extraction is a
+lookup, not a linear scan over the whole trace.
+
+Everything is cheap when tracing is disabled: one attribute check and a
+shared :data:`NULL_SPAN` singleton on the hot paths.
+
+This module intentionally imports nothing from :mod:`repro.sim` — the
+``env`` argument is duck-typed (``.now`` and ``.active_process``), and
+the ``trace`` argument only needs a ``.record`` method and an
+``.enabled`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+__all__ = ["Span", "Instant", "Tracer", "NULL_SPAN"]
+
+
+class Instant(NamedTuple):
+    """A point event kept in the tracer's by-name index."""
+
+    time: float
+    scope: str
+    name: str
+    detail: Dict[str, Any]
+
+
+class Span:
+    """One begin/end interval; also usable as a context manager."""
+
+    __slots__ = ("span_id", "scope", "name", "start_ns", "end_ns",
+                 "parent_id", "attrs", "_tracer", "_key")
+
+    def __init__(self, tracer: "Tracer", span_id: int, scope: str, name: str,
+                 start_ns: float, parent_id: Optional[int], attrs: Dict[str, Any],
+                 key: Any):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.scope = scope
+        self.name = name
+        self.start_ns = start_ns
+        self.end_ns: Optional[float] = None
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._key = key
+
+    # -- lifecycle -------------------------------------------------------
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered after begin (e.g. the packet id)."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, **attrs: Any) -> "Span":
+        """Close the span at the current simulation time."""
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._end(self)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end()
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ns(self) -> float:
+        if self.end_ns is None:
+            raise ValueError(f"span {self.name!r} still open")
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_us(self) -> float:
+        return self.duration_ns / 1000.0
+
+    def contains(self, t: float) -> bool:
+        """True when ``t`` falls inside the (closed) span."""
+        return self.end_ns is not None and self.start_ns <= t <= self.end_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by exporters and artifacts."""
+        return {
+            "id": self.span_id,
+            "scope": self.scope,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "parent": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        end = f"{self.end_ns:,.0f}" if self.end_ns is not None else "open"
+        return f"<Span #{self.span_id} {self.scope}/{self.name} [{self.start_ns:,.0f}..{end}] ns>"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    span_id = 0
+    scope = ""
+    name = ""
+    start_ns = 0.0
+    end_ns = 0.0
+    parent_id = None
+    attrs: Dict[str, Any] = {}
+    complete = True
+    duration_ns = 0.0
+    duration_us = 0.0
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def end(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def contains(self, t: float) -> bool:
+        return False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullSpan>"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory and index for spans/instants of one simulation run."""
+
+    def __init__(self, env: Any, trace: Any = None, enabled: Optional[bool] = None):
+        self.env = env
+        self.trace = trace
+        #: explicit override; when None, follows ``trace.enabled``
+        self._enabled = enabled
+        self._seq = 0
+        #: every span ever begun, in begin order (deterministic ids)
+        self.spans: List[Span] = []
+        self._stacks: Dict[Any, List[Span]] = {}
+        self._by_name: Dict[Tuple[str, str], List[Span]] = {}
+        self._instants: Dict[str, List[Instant]] = {}
+
+    # -- state -----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        if self._enabled is not None:
+            return self._enabled
+        return bool(self.trace is not None and self.trace.enabled)
+
+    # -- span lifecycle --------------------------------------------------
+    def begin(self, scope: str, name: str, parent: Optional[Span] = None,
+              **attrs: Any) -> Span:
+        """Open a span; the parent defaults to the innermost open span of
+        the same simulated process."""
+        if not self.enabled:
+            return NULL_SPAN
+        now = self.env.now
+        key = getattr(self.env, "active_process", None)
+        stack = self._stacks.get(key)
+        if parent is not None:
+            parent_id: Optional[int] = parent.span_id
+        elif stack:
+            parent_id = stack[-1].span_id
+        else:
+            parent_id = None
+        self._seq += 1
+        span = Span(self, self._seq, scope, name, now, parent_id, dict(attrs), key)
+        self.spans.append(span)
+        self._by_name.setdefault((scope, name), []).append(span)
+        if stack is None:
+            self._stacks[key] = [span]
+        else:
+            stack.append(span)
+        if self.trace is not None:
+            self.trace.record(now, scope, "span_begin",
+                              span=span.span_id, name=name, parent=parent_id)
+        return span
+
+    def _end(self, span: Span) -> None:
+        if span.end_ns is not None:
+            raise ValueError(f"span {span.name!r} ended twice")
+        now = self.env.now
+        span.end_ns = now
+        stack = self._stacks.get(span._key)
+        if stack is not None:
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] is span:
+                    del stack[i]
+                    break
+            if not stack:
+                del self._stacks[span._key]
+        if self.trace is not None:
+            self.trace.record(now, span.scope, "span_end",
+                              span=span.span_id, name=span.name,
+                              dur_ns=now - span.start_ns, **span.attrs)
+
+    # -- instants --------------------------------------------------------
+    def instant(self, scope: str, name: str, **detail: Any) -> None:
+        """Record a point event (also mirrored into the flat trace under
+        the same event name, so legacy record consumers see no change)."""
+        if not self.enabled:
+            return
+        now = self.env.now
+        self._instants.setdefault(name, []).append(Instant(now, scope, name, detail))
+        if self.trace is not None:
+            self.trace.record(now, scope, name, **detail)
+
+    # -- lookups ---------------------------------------------------------
+    def find(self, scope: Optional[str] = None, name: Optional[str] = None,
+             scope_prefix: Optional[str] = None, **attrs: Any) -> List[Span]:
+        """Spans matching scope (exact or prefix), name, and attributes."""
+        if scope is not None and name is not None and not attrs:
+            return list(self._by_name.get((scope, name), []))
+        out = []
+        for span in self.spans:
+            if scope is not None and span.scope != scope:
+                continue
+            if scope_prefix is not None and not span.scope.startswith(scope_prefix):
+                continue
+            if name is not None and span.name != name:
+                continue
+            if attrs and not all(span.attrs.get(k) == v for k, v in attrs.items()):
+                continue
+            out.append(span)
+        return out
+
+    def first(self, scope: Optional[str] = None, name: Optional[str] = None,
+              scope_prefix: Optional[str] = None, **attrs: Any) -> Optional[Span]:
+        """First span matching the :meth:`find` filters, or ``None``."""
+        found = self.find(scope=scope, name=name, scope_prefix=scope_prefix, **attrs)
+        return found[0] if found else None
+
+    def containing(self, t: float, name: Optional[str] = None,
+                   scope_prefix: Optional[str] = None) -> Optional[Span]:
+        """The latest-starting closed span that contains time ``t``."""
+        best: Optional[Span] = None
+        for span in self.find(name=name, scope_prefix=scope_prefix):
+            if span.contains(t) and (best is None or span.start_ns >= best.start_ns):
+                best = span
+        return best
+
+    def instants(self, name: str, scope_prefix: Optional[str] = None,
+                 **detail: Any) -> List[Instant]:
+        """Indexed lookup of point events by name (+ scope/detail filter)."""
+        out = self._instants.get(name, [])
+        if scope_prefix is not None:
+            out = [i for i in out if i.scope.startswith(scope_prefix)]
+        if detail:
+            out = [i for i in out
+                   if all(i.detail.get(k) == v for k, v in detail.items())]
+        return list(out)
+
+    def first_instant(self, name: str, scope_prefix: Optional[str] = None,
+                      **detail: Any) -> Optional[Instant]:
+        """First instant matching the :meth:`instants` filters, or ``None``."""
+        found = self.instants(name, scope_prefix=scope_prefix, **detail)
+        return found[0] if found else None
+
+    # -- maintenance -----------------------------------------------------
+    @property
+    def open_spans(self) -> List[Span]:
+        """Spans begun but not yet ended (normally empty after a run)."""
+        return [s for s in self.spans if s.end_ns is None]
+
+    def clear(self) -> None:
+        """Drop all spans and instants (the id sequence keeps counting)."""
+        self.spans.clear()
+        self._stacks.clear()
+        self._by_name.clear()
+        self._instants.clear()
+
+    def __repr__(self) -> str:
+        return f"<Tracer spans={len(self.spans)} enabled={self.enabled}>"

@@ -43,7 +43,9 @@ class VendorDriver:
         self.nic = nic
         self.params = params
         self.name = name
-        self.counters = Counters()
+        #: shares the kernel's tracer so driver spans nest with kernel ones
+        self.tracer = kernel.tracer
+        self.counters = Counters(registry=kernel.metrics, prefix=f"{name}.")
         if nic.rx_deliver == "irq-pull":
             nic.irq_callback = self._on_irq
 
@@ -76,8 +78,8 @@ class VendorDriver:
         accepted = self.nic.try_post_tx(desc)
         if accepted:
             self.counters.add("tx_accepted")
-            self.kernel.trace.record(
-                self.kernel.env.now, self.name, "driver_tx",
+            self.tracer.instant(
+                self.name, "driver_tx",
                 pkt=_pkt_id(skb.payload), nbytes=skb.total_bytes(),
             )
         else:
@@ -95,11 +97,13 @@ class VendorDriver:
         cpu = self.kernel.cpu
         direct = self.kernel.params.direct_rx_dispatch
         self.counters.add("rx_irqs")
-        self.kernel.trace.record(env.now, self.name, "irq_begin")
+        irq_span = self.tracer.begin(self.name, "irq", direct=direct)
+        self.tracer.instant(self.name, "irq_begin")
         yield from cpu.execute(self.params.irq_overhead_ns, PRIO_IRQ, label="drv_irq")
         drained = 0
         while self.nic.rx_pending() and drained < self.params.rx_budget_per_irq:
             t0 = env.now
+            frame_span = self.tracer.begin(self.name, "rx_frame")
             if direct:
                 # Figure 8(b): no sk_buff staging; DMA lands where the
                 # module directs (user memory if a receiver waits).
@@ -110,8 +114,9 @@ class VendorDriver:
                     payload=rx.frame.payload,
                     direct_delivery=True,
                 )
-                self.kernel.trace.record(
-                    env.now, self.name, "driver_rx",
+                frame_span.end(pkt=_pkt_id(rx.frame.payload), nbytes=rx.frame.payload_bytes)
+                self.tracer.instant(
+                    self.name, "driver_rx",
                     pkt=_pkt_id(rx.frame.payload), t0=t0, nbytes=rx.frame.payload_bytes,
                 )
                 yield from self.kernel.direct_rx(rx.frame.ethertype, skb)
@@ -125,12 +130,15 @@ class VendorDriver:
                     fragments=[(SYSTEM_MEMORY, rx.frame.payload_bytes)] if rx.frame.payload_bytes else [],
                     payload=rx.frame.payload,
                 )
-                self.kernel.trace.record(
-                    env.now, self.name, "driver_rx",
+                frame_span.end(pkt=_pkt_id(rx.frame.payload), nbytes=rx.frame.payload_bytes)
+                self.tracer.instant(
+                    self.name, "driver_rx",
                     pkt=_pkt_id(rx.frame.payload), t0=t0, nbytes=rx.frame.payload_bytes,
                 )
                 self.kernel.deliver_rx(rx.frame.ethertype, skb, in_irq_context=True)
             drained += 1
         self.counters.add("rx_frames", drained)
-        self.kernel.trace.record(env.now, self.name, "irq_end", drained=drained)
+        self.tracer.instant(self.name, "irq_end", drained=drained)
+        irq_span.end(drained=drained)
+        self.kernel.metrics.histogram(f"{self.name}.irq_frames").record(drained)
         self.nic.irq_service_done()

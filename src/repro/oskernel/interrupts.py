@@ -20,10 +20,11 @@ effect).
 
 from __future__ import annotations
 
-from typing import Callable, Generator
+from typing import Callable, Generator, Optional
 
 from ..config import KernelParams
 from ..hw.cpu import PRIO_IRQ, PRIO_SOFTIRQ, Cpu
+from ..obs import MetricsRegistry
 from ..sim import Counters, Environment, Store
 
 __all__ = ["IrqController", "BottomHalves"]
@@ -32,12 +33,16 @@ __all__ = ["IrqController", "BottomHalves"]
 class BottomHalves:
     """The deferred-work queue (Linux 2.4 bottom halves / softirqs)."""
 
-    def __init__(self, env: Environment, cpu: Cpu, params: KernelParams, name: str = "bh"):
+    def __init__(self, env: Environment, cpu: Cpu, params: KernelParams, name: str = "bh",
+                 metrics: Optional[MetricsRegistry] = None):
         self.env = env
         self.cpu = cpu
         self.params = params
         self.name = name
-        self.counters = Counters()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.counters = Counters(registry=self.metrics, prefix=f"{name}.")
+        #: live queue depth (+ high-water mark) of deferred work
+        self._depth_gauge = self.metrics.gauge(f"{name}.queue_depth")
         self._queue: Store = Store(env, name=f"{name}.queue")
         env.process(self._worker(), name=f"{name}.worker")
 
@@ -45,6 +50,7 @@ class BottomHalves:
         """Queue ``work`` (a generator factory) to run in softirq context."""
         self.counters.add("scheduled")
         self._queue.put(work)
+        self._depth_gauge.set(len(self._queue.items))
 
     def pending(self) -> int:
         """Number of queued, not-yet-run bottom halves."""
@@ -53,6 +59,7 @@ class BottomHalves:
     def _worker(self) -> Generator:
         while True:
             work = yield self._queue.get()
+            self._depth_gauge.set(len(self._queue.items))
             yield from self.cpu.execute(
                 self.params.bottom_half_dispatch_ns, PRIO_SOFTIRQ, label="bh_dispatch"
             )

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Generator, Optional
 from ..config import KernelParams, MemoryParams
 from ..hw.cpu import PRIO_IRQ, PRIO_KERNEL, PRIO_SOFTIRQ, PRIO_USER, Cpu
 from ..hw.memory import MemoryBus
+from ..obs import MetricsRegistry, Tracer
 from ..sim import Counters, Environment, Event, Trace
 from .interrupts import BottomHalves, IrqController
 
@@ -43,6 +44,8 @@ class Kernel:
         memory: MemoryBus,
         name: str = "kernel",
         trace: Optional[Trace] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.params = params
@@ -50,9 +53,15 @@ class Kernel:
         self.memory = memory
         self.name = name
         self.trace = trace if trace is not None else Trace(enabled=False)
-        self.counters = Counters()
+        #: span tracer; shared cluster-wide when supplied, private otherwise
+        self.tracer = tracer if tracer is not None else Tracer(env, self.trace)
+        #: typed metrics registry (counters/gauges/histograms)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.counters = Counters(registry=self.metrics, prefix=f"{name}.")
         self.irq = IrqController(env, cpu, params, name=f"{name}.irq")
-        self.bottom_halves = BottomHalves(env, cpu, params, name=f"{name}.bh")
+        self.bottom_halves = BottomHalves(
+            env, cpu, params, name=f"{name}.bh", metrics=self.metrics
+        )
         #: ethertype -> generator factory taking (skbuff) — protocol rx entry
         self.protocol_handlers: Dict[int, Callable] = {}
 
@@ -67,13 +76,17 @@ class Kernel:
         per CLIC's design — a scheduler pass on return to user mode.
         """
         self.counters.add("syscalls")
-        self.trace.record(self.env.now, self.name, "syscall_enter", label=label)
+        t0 = self.env.now
+        span = self.tracer.begin(self.name, "syscall", label=label)
+        self.tracer.instant(self.name, "syscall_enter", label=label)
         yield from self.cpu.execute(self.params.syscall_enter_ns, PRIO_KERNEL, label="sys_enter")
         result = yield from body
         yield from self.cpu.execute(self.params.syscall_exit_ns, PRIO_KERNEL, label="sys_exit")
         if self.params.scheduler_on_syscall_return:
             yield from self.cpu.scheduler_pass(PRIO_KERNEL)
-        self.trace.record(self.env.now, self.name, "syscall_exit", label=label)
+        self.tracer.instant(self.name, "syscall_exit", label=label)
+        span.end()
+        self.metrics.histogram(f"{self.name}.syscall_ns").record(self.env.now - t0)
         return result
 
     def lightweight_call(self, body: Generator, label: str = "lwcall") -> Generator:
@@ -94,12 +107,16 @@ class Kernel:
         context switch back when woken; returns the event's value.
         """
         self.counters.add("blocks")
-        self.trace.record(self.env.now, self.name, "block", label=label)
+        t0 = self.env.now
+        span = self.tracer.begin(self.name, "blocked", label=label)
+        self.tracer.instant(self.name, "block", label=label)
         yield from self.cpu.context_switch(PRIO_KERNEL)
         value = yield event
         yield from self.cpu.scheduler_pass(PRIO_KERNEL)
         yield from self.cpu.context_switch(PRIO_KERNEL)
-        self.trace.record(self.env.now, self.name, "wake", label=label)
+        self.tracer.instant(self.name, "wake", label=label)
+        span.end()
+        self.metrics.histogram(f"{self.name}.block_ns").record(self.env.now - t0)
         return value
 
     # ------------------------------------------------------------------

@@ -100,7 +100,10 @@ class ClicModule:
         self.env: Environment = node.env
         self.params: ClicParams = node.cfg.clic
         self.kernel = node.kernel
-        self.counters = Counters()
+        #: tracing scope of this module, e.g. ``node0.clic``
+        self.scope = f"{node.name}.clic"
+        self.tracer = self.kernel.tracer
+        self.counters = Counters(registry=self.kernel.metrics, prefix=f"{self.scope}.")
         self._msg_ids = itertools.count(1)
 
         self._senders: Dict[int, WindowedSender] = {}
@@ -197,6 +200,8 @@ class ClicModule:
             result = yield from self._send_local(port, nbytes, tag, payload)
             return result
         msg_id = next(self._msg_ids)
+        span = self.tracer.begin(self.scope, "clic_send",
+                                 dst=dst_node, nbytes=nbytes, msg=msg_id)
         sender = self._sender(dst_node)
         if remote_write:
             ptype = ClicPacketType.REMOTE_WRITE
@@ -225,6 +230,7 @@ class ClicModule:
                 break
         self.counters.add("msgs_sent")
         self.counters.add("bytes_sent", nbytes)
+        span.end()
         return msg_id
 
     def flush(self, dst_node: int) -> Generator:
@@ -281,6 +287,8 @@ class ClicModule:
     def _tx_packet(self, pkt: ClicPacket, dst_mac: Optional[MacAddress] = None) -> Generator:
         """Compose headers + SK_BUFF, call the driver; stage on refusal."""
         cpu = self.kernel.cpu
+        span = self.tracer.begin(self.scope, "clic_tx",
+                                 pkt=pkt.packet_id, nbytes=pkt.frag_bytes)
         yield from cpu.execute(self.params.module_tx_ns, PRIO_KERNEL, label="clic_tx")
         zero_copy = self.params.zero_copy and self.node.nic_supports_sg()
         driver, mac = self._route(pkt, dst_mac)
@@ -294,6 +302,7 @@ class ClicModule:
         accepted = yield from driver.transmit(skb, mac, EtherType.CLIC)
         if accepted:
             self.counters.add("pkts_tx")
+            span.end(accepted=True)
             return
         # NIC busy: stage in system memory (the copy overlaps other
         # traffic; §3.1) and let the pump retry.
@@ -303,6 +312,7 @@ class ClicModule:
             self.counters.add("staged_copies")
         self.counters.add("pkts_staged")
         self._backlog.put((skb, mac))
+        span.end(accepted=False)
 
     def _route(self, pkt: ClicPacket, dst_mac: Optional[MacAddress]):
         """Pick (driver, dst MAC) — round-robin across bonded channels."""
@@ -358,21 +368,23 @@ class ClicModule:
     # ------------------------------------------------------------------
     def _rx_entry(self, skb: SkBuff) -> Generator:
         cpu = self.kernel.cpu
+        span = self.tracer.begin(self.scope, "clic_rx", direct=skb.direct_delivery)
         yield from cpu.execute(self.params.module_rx_ns, PRIO_SOFTIRQ, label="clic_rx")
         item = skb.payload
         if isinstance(item, ClicAck):
             self._sender(item.src_node).on_ack(item.cumulative_seq)
             self.counters.add("acks_rx")
+            span.end(kind="ack")
             return
         if not isinstance(item, ClicPacket):
             # Malformed frame on our ethertype (corrupted peer, fuzzing):
             # the module must survive it — protection is a design goal.
             self.counters.add("rx_malformed")
+            span.end(kind="malformed")
             return
         pkt: ClicPacket = item
-        self.kernel.trace.record(
-            self.env.now, f"{self.node.name}.clic", "module_rx",
-            pkt=pkt.packet_id, nbytes=pkt.frag_bytes,
+        self.tracer.instant(
+            self.scope, "module_rx", pkt=pkt.packet_id, nbytes=pkt.frag_bytes,
         )
         pkt._direct_delivery = skb.direct_delivery  # Figure 8(b) path
         if pkt.ptype is ClicPacketType.BCAST:
@@ -383,6 +395,7 @@ class ClicModule:
         while self._rx_ready:
             fragment = self._rx_ready.pop(0)
             yield from self._consume_fragment(fragment)
+        span.end(pkt=pkt.packet_id)
 
     def _consume_fragment(self, pkt: ClicPacket) -> Generator:
         self.counters.add("pkts_rx")
@@ -571,6 +584,7 @@ class ClicModule:
     # ------------------------------------------------------------------
     def _send_local(self, port: int, nbytes: int, tag: int, payload: Any) -> Generator:
         msg_id = next(self._msg_ids)
+        span = self.tracer.begin(self.scope, "clic_local", nbytes=nbytes, msg=msg_id)
         yield from self.kernel.cpu.execute(self.params.module_tx_ns, PRIO_KERNEL, label="clic_local")
         message = ClicMessage(
             src_node=self.node_id,
@@ -591,6 +605,7 @@ class ClicModule:
                 message.completed_at = self.env.now
                 event.succeed(message)
                 self.counters.add("local_direct")
+                span.end(path="direct")
                 return msg_id
         # Nobody waiting: stage in system memory; recv() will copy out.
         yield from self.kernel.copy_user_to_system(nbytes)
@@ -602,7 +617,9 @@ class ClicModule:
                 message.completed_at = self.env.now
                 event.succeed(message)
                 self.counters.add("local_direct")
+                span.end(path="late-direct")
                 return msg_id
         state.ready.append(message)
         self.counters.add("local_staged")
+        span.end(path="staged")
         return msg_id

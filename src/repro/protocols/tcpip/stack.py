@@ -27,7 +27,10 @@ class TcpIpStack:
     def __init__(self, node):
         self.node = node
         self.params = node.cfg.tcp
-        self.counters = Counters()
+        #: tracing scope of this stack, e.g. ``node0.tcpip``
+        self.scope = f"{node.name}.tcpip"
+        self.tracer = node.kernel.tracer
+        self.counters = Counters(registry=node.kernel.metrics, prefix=f"{self.scope}.")
         self.ip = IpLayer(node, self.params)
         self.tcp = TcpLayer(node, self.params, self.ip)
         self.udp = UdpLayer(node, self.params, self.ip)
@@ -49,13 +52,17 @@ class TcpIpStack:
 
     # -- receive entry (bottom-half context) -------------------------------------
     def _rx_entry(self, skb: SkBuff) -> Generator:
-        dgram: IpDatagram = skb.payload
-        complete = self.ip.rx(dgram)
-        if complete is None:
-            return
-        if complete.protocol == "tcp":
-            yield from self.tcp.dispatch(complete.payload)
-        elif complete.protocol == "udp":
-            yield from self.udp.on_datagram(complete.payload)
-        else:
-            self.counters.add("unknown_ip_protocol")
+        with self.tracer.begin(self.scope, "tcpip_rx") as span:
+            dgram: IpDatagram = skb.payload
+            complete = self.ip.rx(dgram)
+            if complete is None:
+                span.annotate(kind="fragment")
+                return
+            if complete.protocol == "tcp":
+                span.annotate(kind="tcp")
+                yield from self.tcp.dispatch(complete.payload)
+            elif complete.protocol == "udp":
+                span.annotate(kind="udp")
+                yield from self.udp.on_datagram(complete.payload)
+            else:
+                self.counters.add("unknown_ip_protocol")

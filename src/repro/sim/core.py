@@ -360,13 +360,30 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock (nanoseconds).
+    profile:
+        When true, attach an :class:`~repro.obs.profile.EnvProfiler`
+        that tallies events per process/type and the queue's high-water
+        mark (see :attr:`profiler`).  Off by default: the disabled cost
+        is one ``is None`` check per scheduled/processed event.
     """
 
-    def __init__(self, initial_time: float = 0):
+    def __init__(self, initial_time: float = 0, profile: bool = False):
         self._now = initial_time
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        #: optional :class:`~repro.obs.profile.EnvProfiler`
+        self.profiler = None
+        if profile:
+            self.enable_profiling()
+
+    def enable_profiling(self):
+        """Attach (or return the existing) event-loop profiler."""
+        if self.profiler is None:
+            from ..obs.profile import EnvProfiler
+
+            self.profiler = EnvProfiler()
+        return self.profiler
 
     # -- clock & introspection -------------------------------------------
     @property
@@ -408,6 +425,8 @@ class Environment:
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0) -> None:
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if self.profiler is not None:
+            self.profiler.on_schedule(len(self._queue))
 
     def step(self) -> None:
         """Process the next scheduled event (advancing the clock)."""
@@ -415,6 +434,8 @@ class Environment:
             raise SimulationError("no more events")
         self._now, _, _, event = heapq.heappop(self._queue)
         callbacks, event.callbacks = event.callbacks, None
+        if self.profiler is not None:
+            self.profiler.on_step(event, callbacks)
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:

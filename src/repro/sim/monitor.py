@@ -2,10 +2,15 @@
 
 The experiments need three kinds of observability:
 
-* **Trace** — timestamped named records (used to extract the Figure 7
-  per-stage pipeline timeline of a packet).
+* **Trace** — timestamped named records, indexed by event name (used to
+  extract the Figure 7 per-stage pipeline timeline of a packet); the
+  span layer in :mod:`repro.obs.span` emits its begin/end markers here
+  too, so the record stream stays the single source of truth.
 * **Counter** — monotonically increasing event tallies (interrupt counts
-  for the Section 2 analysis, packets, retransmissions, ...).
+  for the Section 2 analysis, packets, retransmissions, ...).  Since the
+  observability refactor, :class:`Counters` is a thin dict-like face
+  over :class:`repro.obs.metrics.MetricsRegistry` counters, so ad-hoc
+  tallies and typed instruments share one implementation.
 * **BusyTracker** — integrates busy time of a device to report CPU / bus
   utilization over an interval.
 
@@ -15,9 +20,10 @@ attribute check per record.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from ..obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["TraceRecord", "Trace", "Counters", "BusyTracker", "IntervalStats"]
 
@@ -37,24 +43,51 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only trace of :class:`TraceRecord` entries."""
+    """An append-only trace of :class:`TraceRecord` entries.
+
+    Records are additionally indexed by event name, so stage extraction
+    (:mod:`repro.analysis.timeline`) is a lookup instead of a scan over
+    the whole trace.
+    """
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self.records: List[TraceRecord] = []
+        self._by_event: Dict[str, List[TraceRecord]] = {}
 
     def record(self, time: float, source: str, event: str, **detail: Any) -> None:
         """Append a record (no-op when tracing is disabled)."""
         if self.enabled:
-            self.records.append(TraceRecord(time, source, event, detail))
+            rec = TraceRecord(time, source, event, detail)
+            self.records.append(rec)
+            self._by_event.setdefault(event, []).append(rec)
+
+    def by_event(self, event: str) -> List[TraceRecord]:
+        """All records with the given event name (indexed, append order)."""
+        return list(self._by_event.get(event, ()))
+
+    def first(
+        self,
+        event: str,
+        source_suffix: str = "",
+        source_prefix: str = "",
+        **detail: Any,
+    ) -> Optional[TraceRecord]:
+        """First record of ``event`` matching source affixes + detail."""
+        for r in self._by_event.get(event, ()):
+            if source_suffix and not r.source.endswith(source_suffix):
+                continue
+            if source_prefix and not r.source.startswith(source_prefix):
+                continue
+            if all(r.detail.get(k) == v for k, v in detail.items()):
+                return r
+        return None
 
     def filter(self, source: Optional[str] = None, event: Optional[str] = None) -> List[TraceRecord]:
         """All records matching the given source and/or event name."""
-        out = self.records
+        out = self._by_event.get(event, []) if event is not None else self.records
         if source is not None:
             out = [r for r in out if r.source == source]
-        if event is not None:
-            out = [r for r in out if r.event == event]
         return list(out)
 
     def matching(self, **detail: Any) -> List[TraceRecord]:
@@ -68,38 +101,53 @@ class Trace:
     def clear(self) -> None:
         """Drop all records."""
         self.records.clear()
+        self._by_event.clear()
 
     def __len__(self) -> int:
         return len(self.records)
 
 
 class Counters:
-    """Named monotonic counters with a dict-like face."""
+    """Named monotonic counters with a dict-like face.
 
-    def __init__(self):
-        self._counts: Dict[str, float] = defaultdict(float)
+    Backed by :class:`~repro.obs.metrics.MetricsRegistry` counter
+    instruments; pass a shared ``registry`` (and optional ``prefix``) to
+    fold a component's tallies into a cluster-wide namespace, or omit
+    both for a private registry (the historical behaviour).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, prefix: str = ""):
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._prefix = prefix
 
     def add(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counts[name] += amount
+        self._registry.counter(self._prefix + name).value += amount
 
     def get(self, name: str) -> float:
         """Current value of ``name`` (0 when never incremented)."""
-        return self._counts.get(name, 0)
+        counter = self._registry.peek(self._prefix + name)
+        return counter.value if counter is not None else 0
 
     def snapshot(self) -> Dict[str, float]:
-        """Plain-dict copy of all counters."""
-        return dict(self._counts)
+        """Plain-dict copy of all counters (under this face's prefix)."""
+        start = len(self._prefix)
+        return {
+            name[start:]: inst.value
+            for name, inst in self._registry.items()
+            if name.startswith(self._prefix) and inst.kind == "counter"
+        }
 
     def reset(self) -> None:
         """Zero all counters."""
-        self._counts.clear()
+        for name in list(self.snapshot()):
+            self._registry.discard(self._prefix + name)
 
     def __getitem__(self, name: str) -> float:
         return self.get(name)
 
     def __repr__(self) -> str:
-        return f"Counters({dict(self._counts)!r})"
+        return f"Counters({self.snapshot()!r})"
 
 
 class BusyTracker:
@@ -125,7 +173,9 @@ class BusyTracker:
     def release(self, now: float) -> None:
         """Mark one busy interval finished at ``now``."""
         if self._depth <= 0:
-            raise RuntimeError("BusyTracker.release without matching acquire")
+            raise RuntimeError(
+                f"BusyTracker.release at t={now:,.0f} ns without matching acquire"
+            )
         self._depth -= 1
         if self._depth == 0:
             self.total_busy += now - self._busy_since
@@ -149,27 +199,46 @@ class BusyTracker:
         return (self.busy_time(now) - self._mark_busy) / span
 
 
-@dataclass
 class IntervalStats:
-    """Streaming mean/min/max/count over observed samples."""
+    """Streaming sample statistics (now histogram-backed: adds p50/p95/p99).
 
-    count: int = 0
-    total: float = 0.0
-    minimum: float = float("inf")
-    maximum: float = float("-inf")
+    Kept as the historical name; internally a log-bucketed
+    :class:`~repro.obs.metrics.Histogram`, so mean/min/max/count stay
+    exact while percentiles come for free.
+    """
+
+    __slots__ = ("_hist",)
+
+    def __init__(self):
+        self._hist = Histogram()
 
     def observe(self, value: float) -> None:
         """Fold one sample into the running statistics."""
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        self._hist.record(value)
+
+    @property
+    def count(self) -> int:
+        return self._hist.count
+
+    @property
+    def total(self) -> float:
+        return self._hist.total
+
+    @property
+    def minimum(self) -> float:
+        return self._hist.minimum
+
+    @property
+    def maximum(self) -> float:
+        return self._hist.maximum
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return self._hist.mean
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile of the observed samples."""
+        return self._hist.percentile(p)
 
     def as_dict(self) -> Dict[str, float]:
         """The statistics as a plain dict."""

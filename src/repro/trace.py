@@ -1,0 +1,186 @@
+"""``python -m repro.trace`` — capture and export structured traces.
+
+Runs the Figure-7 single-packet experiment with tracing on, then exports
+the structured spans + trace records as a Chrome ``trace_event`` JSON
+document (open it at https://ui.perfetto.dev or ``chrome://tracing``) or
+as a human-readable span listing.  On top of the component spans the
+exporter adds one synthetic complete span per Figure-7 pipeline stage
+(scope ``fig7.pipeline``), so the paper's stage breakdown is directly
+visible as a lane in the viewer.
+
+Typical invocations::
+
+    python -m repro.trace --chrome -o fig7.trace.json
+    python -m repro.trace --variant direct --spans
+    python -m repro.trace --artifact fig7.artifact.json
+    python -m repro.trace --input fig7.artifact.json --chrome
+
+``--source``/``--event`` filter the exported records (and, for
+``--source``, the spans) by scope prefix / event name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .obs import RunArtifact, chrome_trace_json, records_of, spans_of
+
+__all__ = ["PIPELINE_SCOPE", "capture_fig7", "main"]
+
+#: scope of the synthetic per-stage spans added on top of component spans
+PIPELINE_SCOPE = "fig7.pipeline"
+
+
+def _stage_spans(timeline, first_id: int) -> List[Dict[str, Any]]:
+    """Synthetic complete spans, one per Figure-7 pipeline stage."""
+    return [
+        {
+            "id": first_id + i,
+            "scope": PIPELINE_SCOPE,
+            "name": stage.name,
+            "start_ns": stage.start_ns,
+            "end_ns": stage.end_ns,
+            "parent": None,
+            "attrs": {"pkt": timeline.packet_id, "stage": i},
+        }
+        for i, stage in enumerate(timeline.stages)
+    ]
+
+
+def capture_fig7(direct: bool = False) -> RunArtifact:
+    """Run the Figure-7 exchange and bundle everything observable.
+
+    Returns a :class:`~repro.obs.RunArtifact` holding the extracted
+    stage timings, the cluster-wide metrics snapshot, every completed
+    span (component spans plus the synthetic ``fig7.pipeline`` stage
+    spans), and the flat trace records.
+    """
+    from .experiments import fig7
+
+    cluster, pkt_id, timeline, done_ns = fig7.capture(direct_rx=direct)
+    spans = spans_of(cluster.tracer)
+    next_id = max((s["id"] for s in spans), default=0) + 1
+    spans.extend(_stage_spans(timeline, next_id))
+    profiler = cluster.env.profiler
+    return RunArtifact(
+        experiment="fig7.direct" if direct else "fig7",
+        result={
+            "packet_id": pkt_id,
+            "done_ns": done_ns,
+            "total_us": timeline.total_us,
+            "stages": [
+                {"name": s.name, "start_ns": s.start_ns, "end_ns": s.end_ns}
+                for s in timeline.stages
+            ],
+        },
+        metrics=cluster.metrics.snapshot(),
+        profile=profiler.snapshot() if profiler is not None else {},
+        spans=spans,
+        records=records_of(cluster.trace),
+    )
+
+
+def _filtered(artifact: RunArtifact, source: Optional[str], event: Optional[str]):
+    """(spans, records) with the --source/--event filters applied."""
+    spans, records = artifact.spans, artifact.records
+    if source:
+        spans = [s for s in spans if s["scope"].startswith(source)]
+        records = [r for r in records if r["source"].startswith(source)]
+    if event:
+        records = [r for r in records if r["event"] == event]
+    return spans, records
+
+
+def _span_listing(spans: List[Dict[str, Any]]) -> str:
+    """Human-readable table of spans, ordered by start time then id."""
+    lines = [f"{'start us':>12}  {'dur us':>10}  span"]
+    for s in sorted(spans, key=lambda s: (s["start_ns"], s["id"])):
+        dur = (s["end_ns"] - s["start_ns"]) / 1000.0
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(s["attrs"].items()))
+        parent = f" <#{s['parent']}" if s.get("parent") else ""
+        lines.append(
+            f"{s['start_ns'] / 1000.0:12.3f}  {dur:10.3f}  "
+            f"#{s['id']}{parent} {s['scope']}/{s['name']}"
+            + (f" [{attrs}]" if attrs else "")
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry: capture (or load) a run and export its trace."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Capture a traced run and export spans/records",
+    )
+    parser.add_argument(
+        "--experiment", choices=["fig7"], default="fig7",
+        help="experiment to capture (only fig7 carries a traced pipeline)",
+    )
+    parser.add_argument(
+        "--variant", choices=["stock", "direct"], default="stock",
+        help="fig7 variant: stock bottom-half path or direct Figure 8(b)",
+    )
+    parser.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="re-export a previously written RunArtifact instead of running",
+    )
+    parser.add_argument(
+        "--chrome", action="store_true",
+        help="emit Chrome trace_event JSON (the default output)",
+    )
+    parser.add_argument(
+        "--spans", action="store_true",
+        help="emit a human-readable span listing instead of Chrome JSON",
+    )
+    parser.add_argument(
+        "--artifact", metavar="PATH", default=None,
+        help="also write the full RunArtifact JSON to PATH",
+    )
+    parser.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="write the export here instead of stdout")
+    parser.add_argument("--source", default=None,
+                        help="only scopes/sources with this prefix (e.g. node1)")
+    parser.add_argument("--event", default=None,
+                        help="only trace records with this event name")
+    parser.add_argument("--indent", type=int, default=None,
+                        help="pretty-print the Chrome JSON with this indent")
+    args = parser.parse_args(argv)
+
+    if args.input:
+        try:
+            artifact = RunArtifact.load(args.input)
+        except FileNotFoundError:
+            parser.error(f"--input: no such file: {args.input}")
+    else:
+        artifact = capture_fig7(direct=args.variant == "direct")
+
+    if args.artifact:
+        artifact.write(args.artifact)
+        print(f"wrote {args.artifact}", file=sys.stderr)
+
+    spans, records = _filtered(artifact, args.source, args.event)
+    if args.spans:
+        out = _span_listing(spans)
+    else:
+        out = chrome_trace_json(spans, records, indent=args.indent)
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out)
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        try:
+            print(out)
+        except BrokenPipeError:
+            # Downstream consumer (e.g. ``| head``) closed the pipe early;
+            # that is not an error for a listing/export command.
+            sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Metrics-layer tests: instrument semantics and percentile accuracy."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_basics():
+    c = Counter("x")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    assert c.as_dict() == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_tracks_extremes():
+    g = Gauge("depth")
+    assert g.as_dict() == {"value": 0.0, "high_water": 0.0, "low_water": 0.0, "samples": 0}
+    g.set(3)
+    g.inc()
+    g.dec(5)
+    assert g.value == -1
+    assert g.high_water == 4
+    assert g.low_water == -1
+    assert g.samples == 3
+
+
+def _oracle_percentile(samples, p):
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("p", [50, 95, 99])
+def test_histogram_percentiles_vs_sorted_oracle(seed, p):
+    """Every percentile estimate must be within the documented relative
+    error bound (one bucket's growth factor) of the sorted-list oracle."""
+    rng = random.Random(seed)
+    hist = Histogram(growth=1.05)
+    samples = [rng.lognormvariate(8, 1.5) for _ in range(5000)]
+    for s in samples:
+        hist.record(s)
+    exact = _oracle_percentile(samples, p)
+    approx = hist.percentile(p)
+    assert exact / hist.growth <= approx <= exact * hist.growth
+    # Exact moments are exact, not bucketed.
+    assert hist.count == len(samples)
+    assert hist.total == pytest.approx(sum(samples))
+    assert hist.minimum == min(samples)
+    assert hist.maximum == max(samples)
+
+
+def test_histogram_underflow_and_edges():
+    hist = Histogram()
+    assert hist.percentile(50) == 0.0
+    for v in (-5.0, 0.0, 10.0, 20.0):
+        hist.record(v)
+    assert hist.count == 4
+    # The low percentiles come from the underflow bucket.
+    assert hist.percentile(25) == -5.0
+    assert hist.percentile(100) <= hist.maximum
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    with pytest.raises(ValueError):
+        Histogram(growth=1.0)
+    d = hist.as_dict()
+    assert d["count"] == 4 and d["min"] == -5.0 and d["max"] == 20.0
+
+
+def test_histogram_single_sample_all_percentiles():
+    hist = Histogram()
+    hist.record(123.0)
+    for p in (0, 50, 99, 100):
+        assert hist.percentile(p) == 123.0
+
+
+def test_registry_get_or_create_and_kind_conflict():
+    reg = MetricsRegistry()
+    c = reg.counter("a.count")
+    assert reg.counter("a.count") is c
+    reg.gauge("a.depth")
+    reg.histogram("a.lat_ns")
+    assert len(reg) == 3
+    with pytest.raises(TypeError, match="gauge"):
+        reg.counter("a.depth")
+    assert reg.peek("nope") is None
+    reg.discard("a.depth")
+    reg.discard("a.depth")  # idempotent
+    assert len(reg) == 2
+
+
+def test_registry_snapshot_sorted_and_typed():
+    reg = MetricsRegistry()
+    reg.counter("z").inc(2)
+    reg.histogram("a").record(10.0)
+    snap = reg.snapshot()
+    assert list(snap) == ["a", "z"]
+    assert snap["z"] == 2
+    assert snap["a"]["count"] == 1
+    reg.reset()
+    assert len(reg) == 0

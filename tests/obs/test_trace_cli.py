@@ -1,0 +1,83 @@
+"""End-to-end tests for the repro.trace and repro.experiments CLIs."""
+
+import json
+
+import pytest
+
+from repro.obs import RunArtifact
+from repro.trace import PIPELINE_SCOPE, capture_fig7, main
+
+FIG7_STAGES_STOCK = [
+    "sender: syscall + CLIC_MODULE + driver",
+    "NIC DMA + flight",
+    "receiver: driver interrupt (NIC->system copy)",
+    "bottom halves -> CLIC_MODULE",
+    "CLIC_MODULE copy to user + wake",
+]
+
+
+def test_capture_fig7_artifact_is_complete():
+    art = capture_fig7()
+    assert art.experiment == "fig7"
+    assert art.result["total_us"] > 0
+    assert art.metrics  # cluster-wide metrics snapshot present
+    assert art.records
+    stage_spans = [s for s in art.spans if s["scope"] == PIPELINE_SCOPE]
+    assert [s["name"] for s in stage_spans] == FIG7_STAGES_STOCK
+
+
+def test_cli_chrome_output_round_trips(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["--chrome", "-o", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["displayTimeUnit"] == "ns"
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    # At least one complete span per Figure-7 pipeline stage.
+    stage_names = {e["name"] for e in complete if e["cat"] == PIPELINE_SCOPE}
+    assert stage_names == set(FIG7_STAGES_STOCK)
+    # Component spans are exported too, with metadata lanes.
+    assert any(e["cat"].startswith("node0") for e in complete)
+    assert any(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+def test_cli_direct_variant_and_filters(capsys):
+    assert main(["--variant", "direct", "--source", "node1", "--event", "driver_rx"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert instants and all(e["name"] == "driver_rx" for e in instants)
+    # --source node1 keeps only receiver-side spans (pipeline spans are
+    # scoped fig7.pipeline and filtered out too).
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert complete and all(e["cat"].startswith("node1") for e in complete)
+
+
+def test_cli_span_listing(capsys):
+    assert main(["--spans"]) == 0
+    out = capsys.readouterr().out
+    assert "node0.kernel/syscall" in out
+    assert f"{PIPELINE_SCOPE}/NIC DMA + flight" in out
+
+
+def test_cli_artifact_write_and_reload(tmp_path, capsys):
+    art_path = tmp_path / "run.json"
+    out_path = tmp_path / "trace.json"
+    assert main(["--artifact", str(art_path), "-o", str(out_path)]) == 0
+    loaded = RunArtifact.load(str(art_path))
+    assert loaded.experiment == "fig7"
+    # Re-export from the artifact, no simulation run.
+    assert main(["--input", str(art_path)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc == json.loads(out_path.read_text())
+
+
+def test_experiments_json_flag(tmp_path, capsys):
+    from repro.experiments.registry import main as experiments_main
+
+    path = tmp_path / "fig7.json"
+    assert experiments_main(["fig7", "--json", str(path)]) == 0
+    art = RunArtifact.load(str(path))
+    assert art.experiment == "fig7"
+    assert art.quick is True
+    assert "report" not in art.result
+    assert art.result["a"]["total_us"] > 0
+    json.loads(art.to_json())  # round-trips

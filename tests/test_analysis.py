@@ -145,3 +145,56 @@ def test_timeline_missing_packet_raises():
 
     with pytest.raises(ValueError, match="missing"):
         extract_packet_timeline(Trace(enabled=True), 999, "node0", "node1")
+
+
+def _synthetic_trace(irq_times):
+    """A minimal trace with all Figure-7 anchor records for packet 7."""
+    from repro.sim import Trace
+
+    trace = Trace(enabled=True)
+    trace.record(0.0, "node0.kernel", "syscall_enter", label="clic_send")
+    trace.record(5.0, "node0.eth0", "driver_tx", pkt=7)
+    for t in irq_times:
+        trace.record(t, "node1.eth0", "irq_begin")
+    trace.record(25.0, "node1.eth0", "driver_rx", pkt=7, t0=20.0)
+    trace.record(30.0, "node1.clic", "module_rx", pkt=7)
+    trace.record(40.0, "node1.kernel", "wake", label="recv:1")
+    return trace
+
+
+def test_timeline_picks_latest_irq_begin_before_driver_rx():
+    """Regression: the guard used to be a tautology (r.time <= r.time)
+    and with coalesced interrupts any earlier irq_begin could win."""
+    from repro.analysis import extract_packet_timeline
+
+    trace = _synthetic_trace(irq_times=[10.0, 20.0, 35.0])
+    timeline = extract_packet_timeline(trace, 7, "node0", "node1")
+    irq_stage = timeline.stage("receiver: driver interrupt (NIC->system copy)")
+    # The 20.0 irq_begin (latest at or before driver_rx@25.0) anchors the
+    # stage — not 10.0 (earlier) and not 35.0 (after the drain).
+    assert irq_stage.start_ns == 20.0
+    assert irq_stage.end_ns == 25.0
+
+
+def test_timeline_no_irq_before_driver_rx_raises():
+    from repro.analysis import extract_packet_timeline
+
+    trace = _synthetic_trace(irq_times=[35.0])  # only after driver_rx
+    with pytest.raises(ValueError, match="irq_begin"):
+        extract_packet_timeline(trace, 7, "node0", "node1")
+
+
+def test_span_extraction_matches_record_extraction():
+    """The span port must not move any Figure-7 stage boundary."""
+    from repro.analysis import (
+        extract_packet_timeline,
+        extract_packet_timeline_from_spans,
+    )
+    from repro.experiments import fig7
+
+    cluster, pkt_id, _, _ = fig7.capture(direct_rx=False)
+    from_records = extract_packet_timeline(cluster.trace, pkt_id, "node0", "node1")
+    from_spans = extract_packet_timeline_from_spans(cluster.tracer, pkt_id, "node0", "node1")
+    assert [(s.name, s.start_ns, s.end_ns) for s in from_records.stages] == [
+        (s.name, s.start_ns, s.end_ns) for s in from_spans.stages
+    ]
