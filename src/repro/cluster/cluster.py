@@ -13,12 +13,13 @@ matching reality, where installing GAMMA means replacing the driver.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Generator, Iterable, List, Optional, Tuple
 
 from ..config import ClusterConfig
+from ..faults import ChannelFaults, FaultPlan
 from ..hw import Channel, Switch
 from ..obs import MetricsRegistry, Tracer
-from ..sim import Environment, RngStreams, Trace
+from ..sim import Counters, Environment, RngStreams, Trace
 from .node import Node, mac_for
 
 __all__ = ["Cluster"]
@@ -44,12 +45,14 @@ def _reset_global_ids() -> None:
     from ..oskernel import process as osk_process
     from ..oskernel import skbuff as osk_skbuff
     from ..protocols import headers
+    from ..protocols.tcpip import tcp
 
     nic_base._desc_ids = itertools.count(1)
     nic_frames._frame_ids = itertools.count(1)
     osk_process._pids = itertools.count(1)
     osk_skbuff._skb_ids = itertools.count(1)
     headers._packet_ids = itertools.count(1)
+    tcp._conn_ids = itertools.count(1)
 
 
 class Cluster:
@@ -61,10 +64,18 @@ class Cluster:
         protocols: Iterable[str] = ("clic", "tcp"),
         loss_rate: float = 0.0,
         node_overrides: Optional[dict] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         """``node_overrides`` maps node_id -> NodeConfig for heterogeneous
         clusters (e.g. the jumbo-frame interoperability experiment, where
-        one side runs MTU 9000 and the other MTU 1500)."""
+        one side runs MTU 9000 and the other MTU 1500).
+
+        ``faults`` is a declarative :class:`~repro.faults.FaultPlan`
+        (bursty loss, corruption, scheduled link outages, switch egress
+        blackouts) injected deterministically from the cluster's seeded
+        RNG streams; the legacy ``loss_rate`` float is shorthand for
+        ``FaultPlan.uniform(loss_rate)`` and draws the same random
+        sequence it always has."""
         self.cfg = cfg if cfg is not None else ClusterConfig()
         self.protocols = tuple(protocols)
         unknown = set(self.protocols) - _PULL_PROTOCOLS - _PUSH_PROTOCOLS
@@ -88,6 +99,13 @@ class Cluster:
         self.switch = Switch(self.env, self.cfg.link)
         self.nodes: List[Node] = []
 
+        if faults is not None and loss_rate:
+            raise ValueError("give either loss_rate or a FaultPlan, not both")
+        #: the active fault plan (None = clean links)
+        self.faults = faults if faults is not None else (
+            FaultPlan.uniform(loss_rate) if loss_rate else None
+        )
+
         overrides = node_overrides or {}
         for node_id in range(self.cfg.num_nodes):
             node = Node(
@@ -104,20 +122,77 @@ class Cluster:
             for ch, nic in enumerate(node.nics):
                 to_switch = Channel(
                     self.env, self.cfg.link, f"{node.name}.ch{ch}->sw",
-                    loss_rate=loss_rate,
-                    rng=self.rng.stream(f"loss.{node_id}.{ch}.up") if loss_rate else None,
+                    faults=self._channel_faults(node_id, ch, "up"),
                 )
                 from_switch = Channel(
                     self.env, self.cfg.link, f"sw->{node.name}.ch{ch}",
-                    loss_rate=loss_rate,
-                    rng=self.rng.stream(f"loss.{node_id}.{ch}.down") if loss_rate else None,
+                    faults=self._channel_faults(node_id, ch, "down"),
                 )
                 port = self.switch.attach(from_switch, mac_for(node_id, ch))
                 to_switch.connect(self.switch.ingress(port))
                 from_switch.connect(nic.receive_frame)
                 nic.attach_tx(to_switch)
+                self._install_blackouts(port, node_id, ch)
 
         self._attach_protocols()
+
+    # -- fault-plan wiring -----------------------------------------------------
+    def _channel_faults(self, node_id: int, ch: int, direction: str) -> Optional[ChannelFaults]:
+        """Build the fault injector for one simplex link, or ``None``.
+
+        The RNG stream name matches the historical per-link loss streams
+        (``loss.{node}.{ch}.{up|down}``), so a plain ``loss_rate`` run is
+        bit-identical to pre-fault-subsystem builds.
+        """
+        if self.faults is None:
+            return None
+        spec = self.faults.link_spec(node_id, ch, direction)
+        if not spec.active:
+            return None
+        injector = ChannelFaults(
+            spec,
+            rng=self.rng.stream(f"loss.{node_id}.{ch}.{direction}"),
+            counters=Counters(
+                registry=self.metrics,
+                prefix=f"faults.link.{node_id}.{ch}.{direction}.",
+            ),
+        )
+        for window in spec.outages:
+            self.env.process(
+                self._outage_span(window, f"node{node_id}.ch{ch}.{direction}"),
+                name=f"faults.outage.{node_id}.{ch}.{direction}",
+            )
+        return injector
+
+    def _install_blackouts(self, port, node_id: int, ch: int) -> None:
+        """Attach any matching switch egress-blackout windows to ``port``."""
+        if self.faults is None:
+            return
+        windows = self.faults.blackouts_for(node_id, ch)
+        if not windows:
+            return
+        self.switch.set_blackouts(port, windows)
+        for window in windows:
+            self.env.process(
+                self._blackout_span(window, f"port{port.index}"),
+                name=f"faults.blackout.{node_id}.{ch}",
+            )
+
+    def _outage_span(self, window, link: str) -> Generator:
+        """Emit a trace span covering one scheduled link outage."""
+        yield self.env.timeout(max(window.start_ns - self.env.now, 0.0))
+        span = self.tracer.begin("faults", "link_outage", link=link)
+        self.metrics.counter("faults.outages_started").value += 1
+        yield self.env.timeout(window.duration_ns)
+        span.end(duration_ns=window.duration_ns)
+
+    def _blackout_span(self, window, port: str) -> Generator:
+        """Emit a trace span covering one switch egress blackout."""
+        yield self.env.timeout(max(window.start_ns - self.env.now, 0.0))
+        span = self.tracer.begin("faults", "egress_blackout", port=port)
+        self.metrics.counter("faults.blackouts_started").value += 1
+        yield self.env.timeout(window.duration_ns)
+        span.end(duration_ns=window.duration_ns)
 
     def _attach_protocols(self) -> None:
         # Imports here avoid protocol<->cluster import cycles.

@@ -214,6 +214,19 @@ class ClicParams:
     #: used >= 200 ms RTOs for the same reason.
     retransmit_timeout_ns: float = 50_000_000.0
     max_retries: int = 10
+    #: adapt the RTO from measured RTTs (Jacobson/Karels SRTT/RTTVAR with
+    #: Karn's rule and exponential backoff); ``retransmit_timeout_ns``
+    #: becomes the *initial* timeout only.
+    adaptive_rto: bool = True
+    #: floor for the computed RTO — still needs to cover the saturation
+    #: ack-turnaround (see retransmit_timeout_ns note above)
+    min_rto_ns: float = 5_000_000.0
+    #: backoff/estimate ceiling
+    max_rto_ns: float = 3_000_000_000.0
+    #: duplicate cumulative acks before fast retransmit (0 = off).  An
+    #: isolated frame loss is then repaired in ~1 RTT instead of a full
+    #: RTO stall; only window-wiping fault bursts still pay the timeout.
+    dupack_threshold: int = 3
 
 
 @dataclass(frozen=True)
@@ -242,6 +255,11 @@ class TcpIpParams:
     #: Linux's minimum RTO of the era (200 ms)
     retransmit_timeout_ns: float = 200_000_000.0
     max_retries: int = 10
+    #: adaptive RTO (Jacobson/Karels), as the real stack does
+    adaptive_rto: bool = True
+    #: Linux clamps the computed RTO to [200 ms, 120 s]
+    min_rto_ns: float = 200_000_000.0
+    max_rto_ns: float = 120_000_000_000.0
     #: per-connection socket bookkeeping per send/recv call
     socket_call_ns: float = 1_500.0
 

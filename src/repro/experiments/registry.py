@@ -28,6 +28,7 @@ from . import (
     fig7,
     headline,
     interrupts,
+    resilience,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
@@ -44,6 +45,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "breakdown": breakdown.run,
     "collectives": collectives_scaling.run,
     "fe2001": fe_baseline.run,
+    "resilience": resilience.run,
 }
 
 

@@ -1,0 +1,234 @@
+"""TXT-RESIL — resilience of CLIC vs TCP under injected faults.
+
+The paper argues CLIC is "a reliable transport protocol" on raw
+Ethernet; §5's comparison table shows it is the only lightweight layer
+that survives frame loss at all.  This experiment quantifies *how* it
+survives: goodput, message latency and retransmission overhead for CLIC
+and TCP across a grid of
+
+* uniform (i.i.d.) frame-loss rates,
+* bursty loss at the **same average rate** (a Gilbert–Elliott two-state
+  channel with total loss in the bad state — real Ethernet errors
+  cluster: connector brownouts, switch congestion, EMI bursts), and
+* a scheduled full link outage shorter than the retry budget.
+
+Fast retransmit (both protocols) repairs an *isolated* loss in about one
+round trip, so uniform loss costs roughly one RTT per dropped frame.  A
+burst wipes consecutive frames — including the duplicate acks fast
+retransmit feeds on — so the sender ends up in a full RTO stall with
+exponential backoff.  At the same long-run loss rate, clustering the
+losses therefore hurts goodput *at least as much*, which is the shape
+this experiment checks.  Cells are averaged over several RNG seeds (loss
+draws on a few-hundred-frame run are noisy).
+
+Shape checks: goodput degrades monotonically with the loss rate for both
+protocols; burst loss at the same average rate degrades goodput at least
+as much as uniform loss; every fault the plan injects is visible in the
+cluster's ``faults.*`` metrics; the outage runs complete with nothing
+lost once the link returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import format_table
+from ..cluster import Cluster
+from ..config import granada2003
+from ..faults import FaultPlan
+from ..workloads import clic_pair, pingpong, stream, tcp_pair
+from .common import check
+
+EXPERIMENT_ID = "TXT-RESIL"
+
+#: Gilbert–Elliott scenario: total loss in the bad state, mean burst of
+#: 8 frames — long enough to starve fast retransmit of duplicate acks,
+#: short against the sim horizon so several bursts land per run.
+MEAN_BURST_FRAMES = 8.0
+LOSS_BAD = 1.0
+
+#: per-cell RNG seeds (cells average over them)
+SEEDS = (1, 7, 42)
+
+
+def _cfg(seed: int):
+    """The testbed config for resilience runs: MTU 1500 so loss operates
+    on a statistically meaningful number of frames per run."""
+    return replace(granada2003(mtu=1500), seed=seed)
+
+
+def _pair(protocol: str):
+    return clic_pair() if protocol == "clic" else tcp_pair()
+
+
+def _sum_counters(cluster: Cluster, suffix: str) -> float:
+    """Sum every registry counter whose name ends with ``suffix``."""
+    return sum(
+        inst.value
+        for name, inst in cluster.metrics.items()
+        if inst.kind == "counter" and name.endswith(suffix)
+    )
+
+
+def _fault_drops(cluster: Cluster) -> float:
+    """Total frames the fault plan removed or damaged, from obs metrics."""
+    return sum(
+        _sum_counters(cluster, s)
+        for s in (".loss_drops", ".burst_drops", ".outage_drops", ".corrupted")
+    )
+
+
+def _plan(model: str, rate: float) -> Optional[FaultPlan]:
+    if rate == 0.0:
+        return None
+    if model == "uniform":
+        return FaultPlan.uniform(rate)
+    return FaultPlan.bursty(
+        rate, mean_burst_frames=MEAN_BURST_FRAMES, loss_bad=LOSS_BAD
+    )
+
+
+def _cell(protocol: str, model: str, rate: float,
+          nbytes: int, messages: int) -> Dict:
+    """One grid cell, averaged over :data:`SEEDS`."""
+    goodputs: List[float] = []
+    retx_overheads: List[float] = []
+    fast_retx = 0.0
+    drops = 0.0
+    for seed in SEEDS:
+        cluster = Cluster(_cfg(seed), protocols=(protocol,), faults=_plan(model, rate))
+        res = stream(cluster, _pair(protocol), nbytes, messages=messages)
+        goodputs.append(res.bandwidth_mbps)
+        registered = _sum_counters(cluster, ".registered")
+        retransmitted = _sum_counters(cluster, ".retransmitted")
+        retx_overheads.append(retransmitted / registered if registered else 0.0)
+        fast_retx += _sum_counters(cluster, ".fast_retransmits")
+        drops += _fault_drops(cluster)
+
+    # Enough repeats that the loss model actually intersects the pings
+    # (a 1024 B exchange is only ~2 frames).
+    lat_cluster = Cluster(_cfg(SEEDS[0]), protocols=(protocol,),
+                          faults=_plan(model, rate))
+    lat = pingpong(lat_cluster, _pair(protocol), 1024, repeats=20, warmup=2)
+    return {
+        "protocol": protocol,
+        "model": model,
+        "rate": rate,
+        "goodput_mbps": sum(goodputs) / len(goodputs),
+        "goodput_per_seed": goodputs,
+        "latency_us": lat.one_way_ns / 1000,
+        "retx_overhead": sum(retx_overheads) / len(retx_overheads),
+        "fast_retransmits": fast_retx,
+        "fault_drops": drops,
+    }
+
+
+def _outage_run(protocol: str, nbytes: int, messages: int) -> Dict:
+    """Full link outage shorter than the retry budget: the stream must
+    stall, back off, and complete with nothing lost.
+
+    The outage opens at t=1 ms — mid-transfer for this stream length —
+    and lasts 10 ms, so the sender is forced through RTO backoff while
+    the link is dark and finishes the stream once it returns."""
+    plan = FaultPlan.link_outage(1_000_000.0, 11_000_000.0, node=0, channel=0)
+    cluster = Cluster(_cfg(SEEDS[0]), protocols=(protocol,), faults=plan)
+    res = stream(cluster, _pair(protocol), nbytes, messages=messages)
+    return {
+        "protocol": protocol,
+        "elapsed_ms": res.elapsed_ns / 1e6,
+        "goodput_mbps": res.bandwidth_mbps,
+        "delivered_bytes": res.nbytes_total,
+        "retransmitted": _sum_counters(cluster, ".retransmitted"),
+        "outage_drops": _sum_counters(cluster, ".outage_drops"),
+    }
+
+
+def run(quick: bool = True) -> Dict:
+    """Run the experiment; returns results incl. a printable report."""
+    rates = [0.0, 0.02, 0.05] if quick else [0.0, 0.01, 0.02, 0.05]
+    nbytes, messages = (16_384, 48) if quick else (16_384, 96)
+
+    cells: List[Dict] = []
+    for protocol in ("clic", "tcp"):
+        for rate in rates:
+            cells.append(_cell(protocol, "uniform", rate, nbytes, messages))
+        for rate in rates:
+            if rate > 0.0:
+                cells.append(_cell(protocol, "burst", rate, nbytes, messages))
+
+    outages = {p: _outage_run(p, nbytes, messages=24) for p in ("clic", "tcp")}
+
+    rows = [
+        (c["protocol"].upper(), c["model"], f"{c['rate']:.2f}",
+         round(c["goodput_mbps"], 1), round(c["latency_us"], 1),
+         f"{c['retx_overhead'] * 100:.1f}%", int(c["fault_drops"]))
+        for c in cells
+    ]
+    for p, o in outages.items():
+        rows.append((p.upper(), "outage(10ms)", "-", round(o["goodput_mbps"], 1),
+                     "-", "-", int(o["outage_drops"])))
+    report = format_table(
+        ["proto", "fault model", "loss", "goodput (Mb/s)", "1024B lat (us)",
+         "retx overhead", "frames dropped"],
+        rows,
+        title="TXT-RESIL: CLIC vs TCP under loss, burst loss, and link outage",
+    )
+    result = {
+        "id": EXPERIMENT_ID,
+        "rates": rates,
+        "cells": cells,
+        "outages": outages,
+        "report": report,
+    }
+    shape_checks(result)
+    return result
+
+
+def shape_checks(result: Dict) -> None:
+    """Assert the qualitative resilience claims on the measured data."""
+    cells = result["cells"]
+
+    def series(protocol: str, model: str) -> List[Tuple[float, Dict]]:
+        return sorted(
+            ((c["rate"], c) for c in cells
+             if c["protocol"] == protocol and c["model"] == model),
+            key=lambda rc: rc[0],
+        )
+
+    for protocol in ("clic", "tcp"):
+        uni = series(protocol, "uniform")
+        for (r0, a), (r1, b) in zip(uni, uni[1:]):
+            check(
+                b["goodput_mbps"] <= a["goodput_mbps"] * 1.02,
+                f"{protocol} goodput degrades monotonically with uniform loss",
+                f"{a['goodput_mbps']:.1f} @ {r0} -> {b['goodput_mbps']:.1f} @ {r1}",
+            )
+        for rate, burst_cell in series(protocol, "burst"):
+            uni_cell = next(c for _, c in uni if c["rate"] == rate)
+            check(
+                burst_cell["goodput_mbps"] <= uni_cell["goodput_mbps"] * 1.1,
+                f"{protocol}: burst loss at the same average rate hurts at "
+                "least as much as uniform loss",
+                f"@{rate}: burst {burst_cell['goodput_mbps']:.1f} vs "
+                f"uniform {uni_cell['goodput_mbps']:.1f} Mb/s",
+            )
+        for c in cells:
+            if c["protocol"] == protocol and c["rate"] > 0.0:
+                check(c["fault_drops"] > 0,
+                      f"{protocol}: injected faults show up in the obs metrics",
+                      f"{c['model']} @ {c['rate']}: {c['fault_drops']} drops")
+                check(c["retx_overhead"] > 0,
+                      f"{protocol}: loss costs retransmissions",
+                      f"{c['model']} @ {c['rate']}: {c['retx_overhead']:.3f}")
+        outage = result["outages"][protocol]
+        check(outage["outage_drops"] > 0,
+              f"{protocol}: the outage actually dropped frames",
+              str(outage["outage_drops"]))
+        check(outage["retransmitted"] > 0,
+              f"{protocol}: the outage was survived by retransmission",
+              str(outage["retransmitted"]))
+
+
+if __name__ == "__main__":
+    print(run()["report"])

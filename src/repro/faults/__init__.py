@@ -1,0 +1,49 @@
+"""Fault injection: declarative plans, deterministic injectors.
+
+CLIC is "a reliable transport protocol" (§3.1); this package supplies the
+adversity that claim is tested against.  A :class:`FaultPlan` is pure
+data — *what* goes wrong, *where* and *when* — and the cluster builder
+compiles it into per-channel :class:`ChannelFaults` engines driven by
+the cluster's seeded :class:`~repro.sim.RngStreams`, so every fault
+schedule is bit-reproducible from ``(seed, plan)``:
+
+* **uniform loss** — the historical Bernoulli frame-drop model;
+* **bursty loss** — a Gilbert–Elliott two-state channel
+  (:class:`BurstLoss`), matching how real links actually fail (clock
+  slips, EMI bursts, congested queues) rather than i.i.d. coin flips;
+* **frame corruption** — frames arrive but fail the NIC's Ethernet CRC
+  check and are dropped there (counted as ``rx_crc_drops``);
+* **link outages / flaps** — a down/up timeline per link direction
+  (:class:`OutageWindow`, :func:`flap_timeline`);
+* **switch egress blackouts** — a switch port stops transmitting for a
+  window (:class:`SwitchBlackout`), modelling e.g. a spanning-tree
+  reconvergence or a misbehaving line card.
+
+Every injected fault is observable: drop/corruption tallies land in the
+cluster's :class:`~repro.obs.MetricsRegistry` under ``faults.*`` and
+scheduled windows are emitted as ``link_outage`` / ``egress_blackout``
+spans on the cluster tracer.
+"""
+
+from .inject import ChannelFaults, FrameVerdict, GilbertElliottModel, UniformLossModel
+from .plan import (
+    BurstLoss,
+    FaultPlan,
+    LinkFaultSpec,
+    OutageWindow,
+    SwitchBlackout,
+    flap_timeline,
+)
+
+__all__ = [
+    "BurstLoss",
+    "ChannelFaults",
+    "FaultPlan",
+    "FrameVerdict",
+    "GilbertElliottModel",
+    "LinkFaultSpec",
+    "OutageWindow",
+    "SwitchBlackout",
+    "UniformLossModel",
+    "flap_timeline",
+]

@@ -1,0 +1,121 @@
+"""Per-channel fault engines compiled from a :class:`~repro.faults.plan.FaultPlan`.
+
+A :class:`ChannelFaults` sits inside one :class:`~repro.hw.link.Channel`
+and passes verdict on every frame the moment its serialization finishes:
+delivered, lost to the loss model, lost to a scheduled outage, or
+delivered *corrupted* (to be dropped by the receiving NIC's CRC check).
+
+Draw discipline: the engine consumes its RNG stream in a fixed order
+(loss model first, then corruption) and only draws for mechanisms that
+are actually configured — so a plain uniform-loss plan consumes exactly
+one draw per frame, bit-identical to the historical
+``Cluster(loss_rate=...)`` behaviour under the same seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sim import Counters
+from .plan import BurstLoss, LinkFaultSpec, OutageWindow
+
+__all__ = ["FrameVerdict", "UniformLossModel", "GilbertElliottModel", "ChannelFaults"]
+
+
+class FrameVerdict(enum.Enum):
+    """What happens to one offered frame."""
+
+    DELIVER = "deliver"
+    LOST = "lost"
+    OUTAGE = "outage"
+    CORRUPT = "corrupt"
+
+    @property
+    def dropped(self) -> bool:
+        """True when the frame never reaches the far end of the wire."""
+        return self in (FrameVerdict.LOST, FrameVerdict.OUTAGE)
+
+
+class UniformLossModel:
+    """Bernoulli (i.i.d.) frame loss — one draw per frame."""
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be a probability (got {rate!r})")
+        self.rate = rate
+
+    def frame_lost(self, rng: np.random.Generator) -> bool:
+        """One Bernoulli trial: is this frame dropped?"""
+        return rng.random() < self.rate
+
+
+class GilbertElliottModel:
+    """Stateful two-state burst-loss channel (Gilbert–Elliott).
+
+    Per offered frame: step the state machine, then draw against the
+    current state's loss probability (skipping the draw for the
+    degenerate 0.0 / 1.0 probabilities so schedules stay compact).
+    """
+
+    def __init__(self, spec: BurstLoss):
+        self.spec = spec
+        self.bad = False
+        self.bursts = 0  # completed good->bad transitions
+
+    def frame_lost(self, rng: np.random.Generator) -> bool:
+        """Step the two-state machine, then draw this frame's fate."""
+        flip = self.spec.p_bad_to_good if self.bad else self.spec.p_good_to_bad
+        if rng.random() < flip:
+            self.bad = not self.bad
+            if self.bad:
+                self.bursts += 1
+        loss = self.spec.loss_bad if self.bad else self.spec.loss_good
+        if loss <= 0.0:
+            return False
+        if loss >= 1.0:
+            return True
+        return rng.random() < loss
+
+
+class ChannelFaults:
+    """One channel's fault engine: loss model + corruption + outages."""
+
+    def __init__(
+        self,
+        spec: LinkFaultSpec,
+        rng: Optional[np.random.Generator],
+        counters: Optional[Counters] = None,
+    ):
+        self.spec = spec
+        self.rng = rng
+        self.counters = counters if counters is not None else Counters()
+        if (spec.loss_rate or spec.burst is not None or spec.corrupt_rate) and rng is None:
+            raise ValueError("stochastic fault injection requires an RNG stream")
+        self.model = None
+        if spec.burst is not None:
+            self.model = GilbertElliottModel(spec.burst)
+        elif spec.loss_rate:
+            self.model = UniformLossModel(spec.loss_rate)
+        self._outages: Tuple[OutageWindow, ...] = tuple(sorted(spec.outages))
+
+    def link_down(self, now: float) -> bool:
+        """True while a scheduled outage window covers ``now``."""
+        return any(w.covers(now) for w in self._outages)
+
+    def judge(self, now: float) -> FrameVerdict:
+        """Pass verdict on one frame whose serialization ends at ``now``."""
+        if self.link_down(now):
+            self.counters.add("outage_drops")
+            return FrameVerdict.OUTAGE
+        if self.model is not None and self.model.frame_lost(self.rng):
+            self.counters.add(
+                "burst_drops" if isinstance(self.model, GilbertElliottModel) else "loss_drops"
+            )
+            return FrameVerdict.LOST
+        if self.spec.corrupt_rate and self.rng.random() < self.spec.corrupt_rate:
+            self.counters.add("corrupted")
+            return FrameVerdict.CORRUPT
+        return FrameVerdict.DELIVER

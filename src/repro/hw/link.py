@@ -3,17 +3,27 @@
 A :class:`Link` is full duplex: two independent :class:`Channel`\\ s, one
 per direction.  Each channel serializes frames at the line rate
 (including preamble, CRC padding and inter-frame gap) and delivers them
-to its sink after the propagation delay.  Optional loss injection
-exercises the protocols' reliability machinery.
+to its sink after the propagation delay.  Fault injection (loss, burst
+loss, corruption, outages — see :mod:`repro.faults`) exercises the
+protocols' reliability machinery.
+
+Counter semantics: ``frames_offered``/``bytes_offered`` count everything
+serialized onto the wire; ``frames``/``bytes`` count only what is
+actually *delivered* to the sink (corrupted frames are delivered — the
+receiving NIC's CRC check drops them); ``frames_lost``/``bytes_lost``
+count drops from loss models and outages.  Offered = delivered + lost,
+always.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Generator, Optional
 
 import numpy as np
 
 from ..config import LinkParams
+from ..faults import ChannelFaults, FrameVerdict, LinkFaultSpec
 from ..sim import BusyTracker, Counters, Environment, Resource
 from .nic.frames import Frame, frame_time_ns
 
@@ -30,6 +40,7 @@ class Channel:
         name: str = "chan",
         loss_rate: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        faults: Optional[ChannelFaults] = None,
     ):
         self.env = env
         self.params = params
@@ -40,8 +51,13 @@ class Channel:
         self._sink: Optional[Callable[[Frame], None]] = None
         self.busy = BusyTracker()
         self.counters = Counters()
-        if loss_rate and rng is None:
+        if loss_rate and rng is None and faults is None:
             raise ValueError("loss injection requires an RNG stream")
+        if faults is None and loss_rate:
+            # Legacy constructor path: plain Bernoulli loss from the given
+            # stream (draw-for-draw identical to the historical behaviour).
+            faults = ChannelFaults(LinkFaultSpec(loss_rate=loss_rate), rng=rng)
+        self.faults = faults
 
     def connect(self, sink: Callable[[Frame], None]) -> None:
         """Attach the receiving endpoint (called once per channel)."""
@@ -62,11 +78,22 @@ class Channel:
                 yield self.env.timeout(duration)
             finally:
                 self.busy.release(self.env.now)
+        self.counters.add("frames_offered")
+        self.counters.add("bytes_offered", frame.payload_bytes)
+        verdict = (
+            FrameVerdict.DELIVER if self.faults is None else self.faults.judge(self.env.now)
+        )
+        if verdict.dropped:
+            self.counters.add("frames_lost")
+            self.counters.add("bytes_lost", frame.payload_bytes)
+            return
+        if verdict is FrameVerdict.CORRUPT:
+            # Deliver a damaged copy (a broadcast frame object is shared
+            # across egress ports — never corrupt the shared instance).
+            frame = replace(frame, corrupted=True)
+            self.counters.add("frames_corrupted")
         self.counters.add("frames")
         self.counters.add("bytes", frame.payload_bytes)
-        if self.loss_rate and self._rng.random() < self.loss_rate:
-            self.counters.add("frames_lost")
-            return
         self.env.process(self._deliver(frame), name=f"{self.name}.deliver")
 
     def _deliver(self, frame: Frame) -> Generator:

@@ -132,6 +132,11 @@ class Nic:
         """Link-side entry point: a frame has fully arrived (channel sink)."""
         self.counters.add("rx_frames")
         self.counters.add("rx_bytes", frame.payload_bytes)
+        if frame.corrupted:
+            # Ethernet CRC check in NIC hardware: a damaged frame never
+            # reaches the host — the reliability layer must retransmit.
+            self.counters.add("rx_crc_drops")
+            return
         if frame.payload_bytes > self.params.effective_mtu():
             # Jumbo interoperability (paper §2: "both communicating
             # computers have to use Jumbo frames"): an oversized frame is

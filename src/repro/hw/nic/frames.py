@@ -73,6 +73,8 @@ class Frame:
     payload_bytes: int
     payload: Any = None
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    #: damaged in flight — fails the receiving NIC's CRC check
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

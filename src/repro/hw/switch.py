@@ -11,12 +11,16 @@ builds channel-bonded networks through a switch).  This model:
   latency;
 * replicates broadcast/multicast frames to every other port;
 * drops on egress-queue overflow (counted — exercised by the
-  reliability fault-injection tests).
+  reliability fault-injection tests);
+* supports scheduled egress *blackouts* per port (see
+  :mod:`repro.faults`): during a blackout window the port drops every
+  frame queued for it (counted), modelling a reconverging or wedged
+  switch port.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..config import LinkParams
 from ..sim import Counters, Environment, Store
@@ -39,6 +43,8 @@ class SwitchPort:
         self.egress = egress
         self.queue: Store = Store(switch.env, capacity=queue_frames)
         self.macs: List[MacAddress] = []
+        #: scheduled egress-blackout windows (objects with ``covers(now)``)
+        self.blackouts: Tuple = ()
         switch.env.process(self._pump(), name=f"switch.port{index}.tx")
 
     def _pump(self) -> Generator:
@@ -46,8 +52,16 @@ class SwitchPort:
             frame = yield self.queue.get()
             yield from self.egress.transmit(frame)
 
+    def in_blackout(self, now: float) -> bool:
+        """True while a scheduled blackout window covers ``now``."""
+        return any(w.covers(now) for w in self.blackouts)
+
     def enqueue(self, frame: Frame) -> None:
-        """Queue a frame for egress; drop (counted) if the queue is full."""
+        """Queue a frame for egress; drop (counted) if the queue is full
+        or the port is blacked out."""
+        if self.blackouts and self.in_blackout(self.switch.env.now):
+            self.switch.counters.add("blackout_drops")
+            return
         if len(self.queue.items) >= self.queue.capacity:
             self.switch.counters.add("drops")
             return
@@ -85,6 +99,11 @@ class Switch:
             raise ValueError(f"duplicate MAC {mac}")
         self._mac_table[mac] = port
         return port
+
+    def set_blackouts(self, port: SwitchPort, windows: Sequence) -> None:
+        """Schedule egress-blackout windows on ``port`` (any objects with
+        a ``covers(now)`` predicate, e.g. :class:`repro.faults.OutageWindow`)."""
+        port.blackouts = tuple(sorted(windows, key=lambda w: w.start_ns))
 
     def add_mac(self, port: SwitchPort, mac: MacAddress) -> None:
         """Register an extra MAC behind a port (channel bonding helper)."""

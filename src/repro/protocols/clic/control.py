@@ -12,9 +12,11 @@ builds the two obvious services on top of it:
   copy to user).  Useful for isolating how much of CLIC's 36 µs latency
   is the *receiver process* machinery versus the transport itself.
 * **aliveness tracking** — cluster membership by periodic kernel pings,
-  the building block a real cluster layer needs for fault reporting
-  (CLIC's reliability machinery detects a dead peer by retry exhaustion;
-  this detects it proactively).
+  the building block a real cluster layer needs for fault reporting.
+  CLIC's reliability machinery detects a dead peer by retry exhaustion;
+  :meth:`ClicControl.watch` detects it proactively — and both routes
+  funnel into :meth:`ClicModule.declare_peer_dead`, so retry exhaustion
+  and ping loss always *agree* on which peers are down.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
 from ...sim import Counters, Environment, Event
+from ..reliability import DeliveryFailed
 
 __all__ = ["ClicControl", "EchoStats"]
 
@@ -66,6 +69,7 @@ class ClicControl:
         self.stats: Dict[int, EchoStats] = {}
         self.module.register_kernel_fn(FN_ECHO_REQUEST, self._on_echo_request)
         self.module.register_kernel_fn(FN_ECHO_REPLY, self._on_echo_reply)
+        self.module.peer_death_listeners.append(self._on_peer_dead)
 
     # -- echo ---------------------------------------------------------------
     def echo(self, peer: int, timeout_ns: float = 10_000_000.0) -> Generator:
@@ -81,13 +85,21 @@ class ClicControl:
         stats.sent += 1
         self._sent_at[echo_id] = self.env.now
         self.counters.add("echo_sent")
-        yield from self.node.kernel.syscall(
-            self.module.send(
-                peer, port=0, nbytes=8, tag=FN_ECHO_REQUEST,
-                ptype=_kernel_fn_type(), payload=("echo", echo_id, self.node.node_id),
-            ),
-            label="clic_echo",
-        )
+        try:
+            yield from self.node.kernel.syscall(
+                self.module.send(
+                    peer, port=0, nbytes=8, tag=FN_ECHO_REQUEST,
+                    ptype=_kernel_fn_type(), payload=("echo", echo_id, self.node.node_id),
+                ),
+                label="clic_echo",
+            )
+        except DeliveryFailed:
+            # The data channel to the peer is already dead — an echo
+            # cannot leave the node; report it as a lost probe.
+            self._pending.pop(echo_id, None)
+            self._sent_at.pop(echo_id, None)
+            self.counters.add("echo_failed")
+            return None
         outcome = yield self.env.any_of([done, self.env.timeout(timeout_ns)])
         self._pending.pop(echo_id, None)
         sent_at = self._sent_at.pop(echo_id)
@@ -101,12 +113,56 @@ class ClicControl:
         return rtt
 
     def is_alive(self, peer: int, probes: int = 2, timeout_ns: float = 5_000_000.0) -> Generator:
-        """Probe a peer: True as soon as one echo returns."""
+        """Probe a peer: True as soon as one echo returns.
+
+        A peer the module has already declared dead (by retry exhaustion
+        or by a :meth:`watch` process) is reported down without probing.
+        """
+        if self.module.peer_is_dead(peer):
+            return False
         for _ in range(probes):
             rtt = yield from self.echo(peer, timeout_ns=timeout_ns)
             if rtt is not None:
                 return True
         return False
+
+    # -- proactive aliveness watching ------------------------------------------
+    def watch(
+        self,
+        peer: int,
+        interval_ns: float = 100_000_000.0,
+        timeout_ns: float = 50_000_000.0,
+        loss_threshold: int = 3,
+    ) -> Generator:
+        """Ping ``peer`` every ``interval_ns``; after ``loss_threshold``
+        *consecutive* lost probes declare it dead via the module.
+
+        Run as a process: ``env.process(control.watch(peer))``.  The loop
+        ends once the peer is down (however that was discovered).
+        """
+        misses = 0
+        while not self.module.peer_is_dead(peer):
+            rtt = yield from self.echo(peer, timeout_ns=timeout_ns)
+            if self.module.peer_is_dead(peer):
+                break
+            if rtt is None:
+                misses += 1
+                self.counters.add("watch_misses")
+                if misses >= loss_threshold:
+                    self.module.declare_peer_dead(
+                        peer, f"{misses} consecutive aliveness probes lost"
+                    )
+                    break
+            else:
+                misses = 0
+            yield self.env.timeout(interval_ns)
+
+    def peer_down(self, peer: int) -> bool:
+        """True once ``peer`` is known dead (shared module verdict)."""
+        return self.module.peer_is_dead(peer)
+
+    def _on_peer_dead(self, peer: int, reason: str) -> None:
+        self.counters.add("peers_reported_dead")
 
     # -- kernel-side handlers (bottom-half context) ----------------------------
     def _on_echo_request(self, pkt) -> Generator:

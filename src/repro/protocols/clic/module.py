@@ -31,7 +31,7 @@ from ...hw.nic import BROADCAST, EtherType, MacAddress
 from ...oskernel import SkBuff
 from ...sim import Counters, Environment, Event, Store
 from ..headers import ClicAck, ClicPacket, ClicPacketType
-from ..reliability import OrderedReceiver, WindowedSender
+from ..reliability import OrderedReceiver, RtoEstimator, WindowedSender
 
 __all__ = ["ClicModule", "ClicMessage", "RemoteRegion"]
 
@@ -114,6 +114,13 @@ class ClicModule:
         self._kernel_fns: Dict[int, Callable] = {}
         self._bond_rr = 0  # round-robin channel-bonding cursor
 
+        #: peers declared unreachable — by retry exhaustion on a data
+        #: channel or by the control layer's aliveness pings; both paths
+        #: converge here so the module has ONE opinion per peer.
+        self.dead_peers: Dict[int, str] = {}
+        #: callbacks ``(peer: int, reason: str)`` fired once per death
+        self.peer_death_listeners: List[Callable[[int, str], None]] = []
+
         #: staged (system-memory) sends waiting for NIC ring space
         self._backlog: Store = Store(self.env, name=f"{node.name}.clic.backlog")
         self.env.process(self._backlog_pump(), name=f"{node.name}.clic.pump")
@@ -154,6 +161,13 @@ class ClicModule:
     def _sender(self, dst_node: int) -> WindowedSender:
         sender = self._senders.get(dst_node)
         if sender is None:
+            rto = None
+            if self.params.adaptive_rto:
+                rto = RtoEstimator(
+                    initial_ns=self.params.retransmit_timeout_ns,
+                    min_ns=self.params.min_rto_ns,
+                    max_ns=self.params.max_rto_ns,
+                )
             sender = WindowedSender(
                 self.env,
                 window=self.params.window_frames,
@@ -161,7 +175,13 @@ class ClicModule:
                 max_retries=self.params.max_retries,
                 retransmit=lambda packets, d=dst_node: self._retransmit(d, packets),
                 name=f"{self.node.name}.clic.tx->{dst_node}",
+                rto=rto,
+                counters=Counters(
+                    registry=self.kernel.metrics, prefix=f"{self.scope}.tx{dst_node}."
+                ),
+                fail_listener=lambda reason, d=dst_node: self._on_peer_failed(d, reason),
             )
+            sender.dupack_threshold = self.params.dupack_threshold
             self._senders[dst_node] = sender
         return sender
 
@@ -175,9 +195,40 @@ class ClicModule:
                 ack_every=self.params.ack_every,
                 ack_delay_ns=self.params.ack_delay_ns,
                 name=f"{self.node.name}.clic.rx<-{src_node}",
+                counters=Counters(
+                    registry=self.kernel.metrics, prefix=f"{self.scope}.rx{src_node}."
+                ),
             )
             self._receivers[src_node] = receiver
         return receiver
+
+    # -- peer aliveness -------------------------------------------------------
+    def peer_is_dead(self, peer: int) -> bool:
+        """True once ``peer`` has been declared unreachable."""
+        return peer in self.dead_peers
+
+    def declare_peer_dead(self, peer: int, reason: str) -> None:
+        """Record ``peer`` as unreachable and notify listeners (idempotent).
+
+        Any live sender channel to the peer is aborted, so blocked
+        ``send``/``flush`` callers observe :class:`DeliveryFailed` — the
+        retry-exhaustion path and the proactive-ping path (see
+        :class:`~repro.protocols.clic.control.ClicControl`) thereby agree.
+        """
+        if peer in self.dead_peers:
+            return
+        self.dead_peers[peer] = reason
+        self.counters.add("peers_dead")
+        self.tracer.instant(self.scope, "peer_dead", peer=peer, reason=reason)
+        sender = self._senders.get(peer)
+        if sender is not None and not sender.failed:
+            sender.abort(f"peer {peer} declared dead: {reason}")
+        for listener in list(self.peer_death_listeners):
+            listener(peer, reason)
+
+    def _on_peer_failed(self, peer: int, reason: str) -> None:
+        """A sender channel exhausted its retry budget."""
+        self.declare_peer_dead(peer, reason)
 
     # ------------------------------------------------------------------
     # send path (runs in kernel context, inside the caller's syscall)

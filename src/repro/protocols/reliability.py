@@ -14,6 +14,10 @@ model:
   out-of-order stash (so slight reordering from channel bonding does not
   trigger spurious retransmission storms), duplicate suppression, and a
   configurable cumulative-ack cadence.
+* :class:`RtoEstimator` — adaptive retransmission timeout in the
+  Jacobson/Karels style (SRTT/RTTVAR smoothing, Karn's rule on
+  retransmitted samples, exponential backoff with a cap).  Without one,
+  the sender keeps the historical fixed timer.
 
 Both sides are transport-agnostic: they call back into their owner to
 actually emit packets/acks, so the full cost of every retransmission and
@@ -22,15 +26,90 @@ ack (CPU, PCI, wire) is charged through the normal send path.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..sim import Counters, Environment, Event
 
-__all__ = ["WindowedSender", "OrderedReceiver", "DeliveryFailed"]
+__all__ = ["WindowedSender", "OrderedReceiver", "RtoEstimator", "DeliveryFailed"]
 
 
 class DeliveryFailed(Exception):
-    """Raised when a packet exhausts its retransmission budget."""
+    """Raised when a packet exhausts its retransmission budget (or the
+    peer is declared dead by the aliveness machinery)."""
+
+
+class RtoEstimator:
+    """Jacobson/Karels adaptive retransmission-timeout estimation.
+
+    ``RTO = clamp(SRTT + k * RTTVAR, min, max)``, with SRTT/RTTVAR
+    smoothed by the RFC 6298 gains (alpha = 1/8, beta = 1/4).  Karn's
+    rule is enforced by the *caller*: only RTT samples from packets that
+    were never retransmitted reach :meth:`sample`.  Each timeout doubles
+    the effective timeout (exponential backoff) until a fresh,
+    unambiguous sample resets the backoff; ``max_ns`` caps everything so
+    a flapping link cannot push the timer to infinity.
+
+    Until the first sample arrives, the configured ``initial_ns`` is
+    used verbatim (not clamped) so explicitly-shortened retry budgets in
+    tests and fast-fail configs behave as written.
+    """
+
+    #: ceiling on the backoff multiplier (beyond this the max_ns clamp
+    #: dominates anyway; the bound keeps the float well-behaved)
+    MAX_BACKOFF = 65536.0
+
+    def __init__(
+        self,
+        initial_ns: float,
+        min_ns: float,
+        max_ns: float,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+        k: float = 4.0,
+    ):
+        if initial_ns <= 0 or min_ns <= 0:
+            raise ValueError("RTO bounds must be positive")
+        if max_ns < min_ns:
+            raise ValueError("max_ns must be >= min_ns")
+        self.initial_ns = initial_ns
+        self.min_ns = min_ns
+        self.max_ns = max_ns
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.samples = 0
+        self.backoff = 1.0
+        self._base = initial_ns
+
+    def current_ns(self) -> float:
+        """The timeout to arm right now (smoothed base x backoff, capped)."""
+        return min(self._base * self.backoff, self.max_ns)
+
+    def sample(self, rtt_ns: float) -> None:
+        """Fold in one RTT measurement from a never-retransmitted packet."""
+        if rtt_ns < 0:
+            raise ValueError("negative RTT sample")
+        if self.srtt is None:
+            self.srtt = rtt_ns
+            self.rttvar = rtt_ns / 2.0
+        else:
+            self.rttvar = (1 - self.beta) * self.rttvar + self.beta * abs(self.srtt - rtt_ns)
+            self.srtt = (1 - self.alpha) * self.srtt + self.alpha * rtt_ns
+        self.samples += 1
+        self._base = min(max(self.srtt + self.k * self.rttvar, self.min_ns), self.max_ns)
+        self.backoff = 1.0  # an unambiguous sample ends the backoff episode
+
+    def on_timeout(self) -> None:
+        """Exponential backoff: each consecutive timeout doubles the timer."""
+        self.backoff = min(self.backoff * 2.0, self.MAX_BACKOFF)
+
+    def __repr__(self) -> str:
+        return (
+            f"RtoEstimator(rto={self.current_ns():.0f}ns, srtt={self.srtt}, "
+            f"backoff={self.backoff:g}, samples={self.samples})"
+        )
 
 
 class WindowedSender:
@@ -43,12 +122,22 @@ class WindowedSender:
     window:
         Maximum unacknowledged packets in flight.
     retransmit_timeout_ns:
-        Go-back-N timer.
+        Go-back-N timer (fixed, unless an ``rto`` estimator is given).
     max_retries:
         Rounds of retransmission before declaring the peer dead.
     retransmit:
         Callback ``(packets: list) -> None`` that re-emits the given
         in-flight packets (owner schedules the actual sends).
+    rto:
+        Optional :class:`RtoEstimator`; when present the retransmission
+        timer adapts to measured RTTs and backs off exponentially on
+        consecutive timeouts instead of firing at a fixed cadence.
+    counters:
+        Optional shared :class:`~repro.sim.Counters` face (e.g. backed
+        by the cluster metrics registry) — defaults to a private one.
+    fail_listener:
+        Called with a reason string when the retry budget is exhausted
+        (or :meth:`abort` is invoked) — the peer-death hook.
     """
 
     def __init__(
@@ -59,6 +148,9 @@ class WindowedSender:
         max_retries: int,
         retransmit: Callable[[List[Any]], None],
         name: str = "sender",
+        rto: Optional[RtoEstimator] = None,
+        counters: Optional[Counters] = None,
+        fail_listener: Optional[Callable[[str], None]] = None,
     ):
         if window < 1:
             raise ValueError("window must be >= 1")
@@ -68,11 +160,15 @@ class WindowedSender:
         self.max_retries = max_retries
         self.retransmit = retransmit
         self.name = name
-        self.counters = Counters()
+        self.rto = rto
+        self.counters = counters if counters is not None else Counters()
+        self.fail_listener = fail_listener
 
         self.next_seq = 0
         self.base = 0  # lowest unacked seq
         self._in_flight: Dict[int, Any] = {}
+        self._sent_at: Dict[int, float] = {}
+        self._retx_seqs: Set[int] = set()  # Karn's rule: ambiguous RTTs
         self._window_waiters: List[Event] = []
         self._drained_waiters: List[Event] = []
         self._timer_generation = 0
@@ -119,6 +215,7 @@ class WindowedSender:
         seq = self.next_seq
         self.next_seq += 1
         self._in_flight[seq] = packet
+        self._sent_at[seq] = self.env.now
         self.counters.add("registered")
         if len(self._in_flight) == 1:
             self._start_timer()
@@ -139,10 +236,15 @@ class WindowedSender:
         if cumulative_seq <= self.base:
             self.counters.add("duplicate_acks")
             self._dupacks += 1
-            if self.dupack_threshold and self._dupacks == self.dupack_threshold:
-                # Fast retransmit: resend the oldest unacked packet now.
+            if self.dupack_threshold and self._dupacks >= self.dupack_threshold:
+                # Fast retransmit: resend the oldest unacked packet now,
+                # and re-arm so another burst of dupacks (the resend was
+                # itself lost) can trigger again without waiting for the
+                # full RTO.
+                self._dupacks = 0
                 if self.base in self._in_flight:
                     self.counters.add("fast_retransmits")
+                    self._retx_seqs.add(self.base)  # Karn: RTT now ambiguous
                     if self.fast_retransmit_listener is not None:
                         self.fast_retransmit_listener()
                     self._start_timer()
@@ -150,13 +252,22 @@ class WindowedSender:
             return
         acked = cumulative_seq - self.base
         self._dupacks = 0
+        rtt_sample_sent_at: Optional[float] = None
         for seq in range(self.base, cumulative_seq):
             self._in_flight.pop(seq, None)
+            sent_at = self._sent_at.pop(seq, None)
+            if seq in self._retx_seqs:
+                self._retx_seqs.discard(seq)  # Karn's rule: never sample these
+            elif sent_at is not None:
+                rtt_sample_sent_at = sent_at  # newest unambiguous packet wins
+        if self.rto is not None and rtt_sample_sent_at is not None:
+            self.rto.sample(self.env.now - rtt_sample_sent_at)
+            self.counters.set("rto_ns", self.rto.current_ns())
         self.base = cumulative_seq
         self._retries = 0
         if self.ack_listener is not None:
             self.ack_listener(acked)
-        self.counters.add("acked_through", cumulative_seq - self.counters.get("acked_through"))
+        self.counters.set("acked_through", cumulative_seq)
         if self._in_flight:
             self._start_timer()  # restart for the new oldest packet
         else:
@@ -169,36 +280,62 @@ class WindowedSender:
             self._window_waiters.pop(0).succeed()
 
     # -- timer / retransmission ---------------------------------------------
+    def current_timeout_ns(self) -> float:
+        """The retransmission timeout that would be armed right now."""
+        return self.rto.current_ns() if self.rto is not None else self.timeout_ns
+
     def _start_timer(self) -> None:
         self._timer_generation += 1
-        self.env.process(self._timer(self._timer_generation), name=f"{self.name}.rto")
+        self.env.process(
+            self._timer(self._timer_generation, self.current_timeout_ns()),
+            name=f"{self.name}.rto",
+        )
 
-    def _timer(self, generation: int) -> Generator:
-        yield self.env.timeout(self.timeout_ns)
+    def _timer(self, generation: int, delay_ns: float) -> Generator:
+        yield self.env.timeout(delay_ns)
         if generation != self._timer_generation or not self._in_flight:
             return
         self._retries += 1
         if self._retries > self.max_retries:
-            self._fail()
+            self._fail(
+                f"no ack after {self.max_retries} retries "
+                f"(base={self.base}, in flight={self.in_flight})"
+            )
             return
         self.counters.add("timeouts")
+        if self.rto is not None:
+            self.rto.on_timeout()
+            self.counters.set("rto_ns", self.rto.current_ns())
         if self.timeout_listener is not None:
             self.timeout_listener()
         packets = [self._in_flight[s] for s in sorted(self._in_flight)]
+        self._retx_seqs.update(self._in_flight)  # Karn: all resent, all ambiguous
         self.counters.add("retransmitted", len(packets))
         self._start_timer()
         self.retransmit(packets)
 
-    def _fail(self) -> None:
-        self._failed = DeliveryFailed(
-            f"{self.name}: no ack after {self.max_retries} retries "
-            f"(base={self.base}, in flight={self.in_flight})"
-        )
+    # -- failure ------------------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        """True once the retry budget is exhausted or :meth:`abort` ran."""
+        return self._failed is not None
+
+    def abort(self, reason: str) -> None:
+        """Externally declare this channel dead (e.g. the aliveness
+        tracker lost the peer): fail all waiters, reject future sends."""
+        if self._failed is None:
+            self._fail(reason)
+
+    def _fail(self, reason: str) -> None:
+        self._failed = DeliveryFailed(f"{self.name}: {reason}")
+        self._timer_generation += 1  # cancel any armed timer
         self.counters.add("failed")
         for event in self._window_waiters + self._drained_waiters:
             event.fail(self._failed)
         self._window_waiters.clear()
         self._drained_waiters.clear()
+        if self.fail_listener is not None:
+            self.fail_listener(reason)
 
     def _check_failed(self) -> None:
         if self._failed is not None:
@@ -217,6 +354,7 @@ class OrderedReceiver:
         ack_delay_ns: float = 50_000.0,
         stash_limit: int = 64,
         name: str = "receiver",
+        counters: Optional[Counters] = None,
     ):
         if ack_every < 1:
             raise ValueError("ack_every must be >= 1")
@@ -227,7 +365,7 @@ class OrderedReceiver:
         self.ack_delay_ns = ack_delay_ns
         self.stash_limit = stash_limit
         self.name = name
-        self.counters = Counters()
+        self.counters = counters if counters is not None else Counters()
 
         self.expected = 0
         self._stash: Dict[int, Any] = {}

@@ -27,7 +27,7 @@ from ...config import TcpIpParams
 from ...hw.cpu import PRIO_KERNEL, PRIO_SOFTIRQ
 from ...sim import Counters, Environment, Event
 from ..headers import TcpSegment
-from ..reliability import OrderedReceiver, WindowedSender
+from ..reliability import OrderedReceiver, RtoEstimator, WindowedSender
 from .ip import IpDatagram, IpLayer
 
 __all__ = ["TcpConnection", "TcpLayer"]
@@ -97,6 +97,14 @@ class TcpConnection:
         self.conn_id = conn_id
         self.counters = Counters()
 
+        rto = None
+        if self.params.adaptive_rto:
+            rto = RtoEstimator(
+                initial_ns=self.params.retransmit_timeout_ns,
+                min_ns=self.params.min_rto_ns,
+                max_ns=self.params.max_rto_ns,
+            )
+        registry = layer.node.kernel.metrics
         self.sender = WindowedSender(
             self.env,
             window=self.params.window_segments,
@@ -104,6 +112,10 @@ class TcpConnection:
             max_retries=self.params.max_retries,
             retransmit=self._retransmit,
             name=f"{layer.node.name}.tcp{conn_id}.tx",
+            rto=rto,
+            counters=Counters(
+                registry=registry, prefix=f"{layer.node.name}.tcp{conn_id}.tx."
+            ),
         )
         self.receiver = OrderedReceiver(
             self.env,
@@ -112,6 +124,9 @@ class TcpConnection:
             ack_every=self.params.ack_every,
             ack_delay_ns=self.params.ack_delay_ns,
             name=f"{layer.node.name}.tcp{conn_id}.rx",
+            counters=Counters(
+                registry=registry, prefix=f"{layer.node.name}.tcp{conn_id}.rx."
+            ),
         )
         self.rx = _RxSide()
 

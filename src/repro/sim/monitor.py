@@ -124,6 +124,17 @@ class Counters:
         """Increment counter ``name`` by ``amount``."""
         self._registry.counter(self._prefix + name).value += amount
 
+    def set(self, name: str, value: float) -> None:
+        """Record ``name`` as a gauge *level* (a typed gauge instrument,
+        not a counter — for values that may hold still or only move in
+        jumps, like the highest cumulatively-acked sequence)."""
+        self._registry.gauge(self._prefix + name).set(value)
+
+    def level(self, name: str) -> float:
+        """Current level of gauge ``name`` (0 when never set)."""
+        gauge = self._registry.peek(self._prefix + name)
+        return gauge.value if gauge is not None else 0
+
     def get(self, name: str) -> float:
         """Current value of ``name`` (0 when never incremented)."""
         counter = self._registry.peek(self._prefix + name)

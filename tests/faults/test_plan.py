@@ -1,0 +1,141 @@
+"""Unit tests for the declarative fault-plan layer."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    BurstLoss,
+    ChannelFaults,
+    FaultPlan,
+    FrameVerdict,
+    GilbertElliottModel,
+    LinkFaultSpec,
+    OutageWindow,
+    SwitchBlackout,
+    flap_timeline,
+)
+
+
+# -- OutageWindow / flap_timeline -------------------------------------------
+def test_outage_window_half_open():
+    w = OutageWindow(100.0, 200.0)
+    assert not w.covers(99.9)
+    assert w.covers(100.0)
+    assert w.covers(199.9)
+    assert not w.covers(200.0)
+    assert w.duration_ns == 100.0
+
+
+def test_outage_window_validation():
+    with pytest.raises(ValueError):
+        OutageWindow(-1.0, 10.0)
+    with pytest.raises(ValueError):
+        OutageWindow(10.0, 10.0)
+
+
+def test_flap_timeline_periodic():
+    windows = flap_timeline(first_down_ns=1_000.0, down_ns=100.0, up_ns=400.0, flaps=3)
+    assert windows == (
+        OutageWindow(1_000.0, 1_100.0),
+        OutageWindow(1_500.0, 1_600.0),
+        OutageWindow(2_000.0, 2_100.0),
+    )
+    with pytest.raises(ValueError):
+        flap_timeline(0.0, 100.0, 100.0, flaps=0)
+    with pytest.raises(ValueError):
+        flap_timeline(0.0, 0.0, 100.0, flaps=1)
+
+
+# -- BurstLoss ---------------------------------------------------------------
+def test_burst_loss_from_average_hits_target_rate():
+    for avg in (0.01, 0.05, 0.2):
+        burst = BurstLoss.from_average(avg, mean_burst_frames=8.0, loss_bad=0.6)
+        assert burst.average_loss_rate == pytest.approx(avg)
+        assert 1.0 / burst.p_bad_to_good == pytest.approx(8.0)
+
+
+def test_burst_loss_validation():
+    with pytest.raises(ValueError):
+        BurstLoss(p_good_to_bad=0.1, p_bad_to_good=0.0)
+    with pytest.raises(ValueError):
+        BurstLoss(p_good_to_bad=1.5, p_bad_to_good=0.1)
+    with pytest.raises(ValueError):
+        BurstLoss.from_average(0.7, loss_bad=0.6)  # average must stay below loss_bad
+
+
+def test_gilbert_elliott_converges_to_average_rate():
+    spec = BurstLoss.from_average(0.05, mean_burst_frames=8.0, loss_bad=1.0)
+    model = GilbertElliottModel(spec)
+    rng = np.random.default_rng(7)
+    n = 200_000
+    lost = sum(model.frame_lost(rng) for _ in range(n))
+    assert lost / n == pytest.approx(0.05, rel=0.15)
+    assert model.bursts > 100  # the loss really arrives in bursts
+
+
+def test_gilbert_elliott_deterministic_per_seed():
+    spec = BurstLoss.from_average(0.1, mean_burst_frames=4.0, loss_bad=1.0)
+    runs = []
+    for _ in range(2):
+        model = GilbertElliottModel(spec)
+        rng = np.random.default_rng(99)
+        runs.append([model.frame_lost(rng) for _ in range(500)])
+    assert runs[0] == runs[1]
+
+
+# -- plan resolution ---------------------------------------------------------
+def test_plan_link_overrides_default():
+    special = LinkFaultSpec(loss_rate=0.5)
+    plan = FaultPlan(
+        default_link=LinkFaultSpec(loss_rate=0.01),
+        links={(1, 0, "down"): special},
+    )
+    assert plan.link_spec(1, 0, "down") is special
+    assert plan.link_spec(1, 0, "up").loss_rate == 0.01
+    assert plan.link_spec(0, 0, "down").loss_rate == 0.01
+
+
+def test_plan_rejects_bad_direction():
+    with pytest.raises(ValueError):
+        FaultPlan(links={(0, 0, "sideways"): LinkFaultSpec()})
+
+
+def test_blackouts_for_matches_wildcards():
+    w = OutageWindow(0.0, 10.0)
+    plan = FaultPlan(switch_blackouts=(
+        SwitchBlackout(window=w),                 # every port
+        SwitchBlackout(window=OutageWindow(5.0, 6.0), node=1, channel=0),
+    ))
+    assert plan.blackouts_for(0, 0) == (w,)
+    assert len(plan.blackouts_for(1, 0)) == 2
+
+
+def test_link_outage_constructor_targets_both_directions():
+    plan = FaultPlan.link_outage(10.0, 20.0, node=0, channel=0)
+    assert plan.link_spec(0, 0, "up").outages == (OutageWindow(10.0, 20.0),)
+    assert plan.link_spec(0, 0, "down").outages == (OutageWindow(10.0, 20.0),)
+    assert not plan.link_spec(1, 0, "up").active
+
+
+# -- ChannelFaults engine ----------------------------------------------------
+def test_channel_faults_outage_beats_loss_model():
+    spec = LinkFaultSpec(loss_rate=0.0, outages=(OutageWindow(100.0, 200.0),))
+    eng = ChannelFaults(spec, rng=None)
+    assert eng.judge(150.0) is FrameVerdict.OUTAGE
+    assert eng.judge(250.0) is FrameVerdict.DELIVER
+    assert eng.counters.get("outage_drops") == 1
+
+
+def test_channel_faults_requires_rng_for_stochastic_models():
+    with pytest.raises(ValueError):
+        ChannelFaults(LinkFaultSpec(loss_rate=0.1), rng=None)
+
+
+def test_channel_faults_corruption_verdict():
+    eng = ChannelFaults(
+        LinkFaultSpec(corrupt_rate=1.0), rng=np.random.default_rng(0)
+    )
+    assert eng.judge(0.0) is FrameVerdict.CORRUPT
+    assert not FrameVerdict.CORRUPT.dropped  # delivered, then killed by CRC
+    assert FrameVerdict.LOST.dropped and FrameVerdict.OUTAGE.dropped
+    assert eng.counters.get("corrupted") == 1

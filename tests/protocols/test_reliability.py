@@ -245,3 +245,167 @@ def test_property_sender_base_monotonic(acks):
         base_history.append(sender.base)
     assert base_history == sorted(base_history)
     assert sender.base <= sender.next_seq
+
+
+# -- adaptive RTO (Jacobson/Karels + Karn + backoff) --------------------------
+def test_rto_estimator_initial_used_verbatim():
+    from repro.protocols.reliability import RtoEstimator
+
+    rto = RtoEstimator(initial_ns=1_000.0, min_ns=5_000.0, max_ns=1e9)
+    # Fast-fail configs rely on the configured initial timeout NOT being
+    # clamped up to the floor before any sample arrives.
+    assert rto.current_ns() == 1_000.0
+
+
+def test_rto_estimator_first_sample_seeds_srtt():
+    from repro.protocols.reliability import RtoEstimator
+
+    rto = RtoEstimator(initial_ns=50e6, min_ns=1_000.0, max_ns=1e12)
+    rto.sample(10_000.0)
+    assert rto.srtt == 10_000.0
+    assert rto.rttvar == 5_000.0
+    assert rto.current_ns() == pytest.approx(10_000.0 + 4 * 5_000.0)
+
+
+def test_rto_estimator_backoff_doubles_and_sample_resets():
+    from repro.protocols.reliability import RtoEstimator
+
+    rto = RtoEstimator(initial_ns=1e6, min_ns=1_000.0, max_ns=1e12)
+    rto.sample(10_000.0)
+    base = rto.current_ns()
+    rto.on_timeout()
+    rto.on_timeout()
+    assert rto.current_ns() == pytest.approx(base * 4)
+    rto.sample(10_000.0)  # unambiguous sample ends the backoff episode
+    assert rto.backoff == 1.0
+
+
+def test_rto_estimator_clamped_to_bounds():
+    from repro.protocols.reliability import RtoEstimator
+
+    rto = RtoEstimator(initial_ns=1e6, min_ns=5e6, max_ns=10e6)
+    rto.sample(10.0)  # tiny RTT -> clamped up to min
+    assert rto.current_ns() == 5e6
+    for _ in range(10):
+        rto.on_timeout()
+    assert rto.current_ns() == 10e6  # backoff capped at max
+    with pytest.raises(ValueError):
+        rto.sample(-1.0)
+    with pytest.raises(ValueError):
+        RtoEstimator(initial_ns=0, min_ns=1, max_ns=2)
+    with pytest.raises(ValueError):
+        RtoEstimator(initial_ns=1, min_ns=5, max_ns=2)
+
+
+def test_sender_timer_uses_adaptive_rto():
+    from repro.protocols.reliability import RtoEstimator
+
+    env = Environment()
+    retx = []
+    rto = RtoEstimator(initial_ns=500.0, min_ns=100.0, max_ns=1e9)
+    sender = WindowedSender(
+        env, window=4, retransmit_timeout_ns=999_999.0, max_retries=50,
+        retransmit=lambda pkts: retx.extend(pkts), rto=rto,
+    )
+    sender.register("a")
+    env.run(until=600)  # initial 500 ns from the estimator, not 999999
+    assert retx == ["a"]
+    assert rto.backoff == 2.0
+
+
+def test_karn_rule_no_sample_from_retransmitted():
+    from repro.protocols.reliability import RtoEstimator
+
+    env = Environment()
+    rto = RtoEstimator(initial_ns=500.0, min_ns=100.0, max_ns=1e9)
+    sender = WindowedSender(
+        env, window=4, retransmit_timeout_ns=500.0, max_retries=50,
+        retransmit=lambda pkts: None, rto=rto,
+    )
+    sender.register("a")
+    env.run(until=600)  # RTO fires: "a" is now retransmitted/ambiguous
+
+    def acker(env):
+        yield env.timeout(100)
+        sender.on_ack(1)
+
+    env.process(acker(env))
+    env.run(until=800)
+    assert rto.samples == 0  # Karn: the ambiguous RTT was never sampled
+    assert sender.in_flight == 0
+
+
+def test_acked_through_is_a_gauge_level():
+    env = Environment()
+    sender, _ = make_sender(env, window=8, timeout=1e9)
+    for _ in range(6):
+        sender.register("p")
+    sender.on_ack(2)
+    assert sender.counters.level("acked_through") == 2
+    sender.on_ack(5)
+    assert sender.counters.level("acked_through") == 5
+    # A stale/duplicate ack must not drag the level backwards.
+    sender.on_ack(3)
+    assert sender.counters.level("acked_through") == 5
+
+
+# -- fast retransmit: re-arms per window, not once per connection -------------
+def test_fast_retransmit_rearms_within_same_stall():
+    env = Environment()
+    retx = []
+    sender, _ = make_sender(env, window=8, timeout=1e9, sink=retx)
+    sender.dupack_threshold = 3
+    for _ in range(4):
+        sender.register("p")
+    for _ in range(3):
+        sender.on_ack(0)  # three dupacks -> first fast retransmit
+    assert sender.counters.get("fast_retransmits") == 1
+    # The resent base was ALSO lost: another burst of dupacks must be able
+    # to fire again without waiting for the full RTO (regression: the
+    # counter used to stick at == threshold and never re-trigger).
+    for _ in range(3):
+        sender.on_ack(0)
+    assert sender.counters.get("fast_retransmits") == 2
+    assert len(retx) == 2
+
+
+def test_fast_retransmit_counts_reset_after_progress():
+    env = Environment()
+    retx = []
+    sender, _ = make_sender(env, window=8, timeout=1e9, sink=retx)
+    sender.dupack_threshold = 3
+    for _ in range(4):
+        sender.register("p")
+    sender.on_ack(0)
+    sender.on_ack(0)
+    sender.on_ack(2)  # progress resets the dupack count
+    sender.on_ack(2)
+    sender.on_ack(2)
+    assert sender.counters.get("fast_retransmits") == 0
+    sender.on_ack(2)
+    assert sender.counters.get("fast_retransmits") == 1
+
+
+def test_abort_fails_waiters_and_rejects_future_sends():
+    env = Environment()
+    sender, _ = make_sender(env, window=1, timeout=1e9)
+    sender.register("stuck")
+    outcomes = []
+
+    def producer(env):
+        try:
+            yield from sender.reserve()
+        except DeliveryFailed:
+            outcomes.append("failed")
+
+    env.process(producer(env))
+    env.run(until=10)
+    reasons = []
+    sender.fail_listener = reasons.append
+    sender.abort("peer declared dead")
+    env.run(until=20)
+    assert outcomes == ["failed"]
+    assert reasons == ["peer declared dead"]
+    assert sender.failed
+    with pytest.raises(DeliveryFailed):
+        sender.register("more")
