@@ -47,7 +47,7 @@ def capture(direct_rx: bool = False) -> Tuple[Cluster, int, PacketTimeline, floa
     the receiver completed.  Used by :func:`run` and by the
     ``python -m repro.trace`` exporter.
     """
-    cfg = granada2003(trace=True)
+    cfg = granada2003(trace=True, profile=True)
     if direct_rx:
         cfg = cfg.with_node(cfg.node.with_direct_rx(True))
     cluster = Cluster(cfg)

@@ -13,8 +13,9 @@ from __future__ import annotations
 import json
 from typing import Callable, Dict
 
-from ..obs import RunArtifact, jsonable
+from ..obs import RunArtifact, aggregate_profiles, jsonable
 from ..obs.export import BATCH_SCHEMA
+from ..sim import profiled
 
 from . import (
     ablations,
@@ -79,7 +80,15 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     artifacts = []
     for name in names:
-        result = run_experiment(name, quick=not args.full)
+        if args.json:
+            # Profile every environment the experiment builds so the
+            # artifact records simulator cost alongside simulated results.
+            with profiled() as profilers:
+                result = run_experiment(name, quick=not args.full)
+            profile = aggregate_profiles(profilers)
+        else:
+            result = run_experiment(name, quick=not args.full)
+            profile = {}
         print(result["report"])
         print()
         if args.json:
@@ -87,6 +96,7 @@ def main(argv=None) -> int:
                 experiment=name,
                 quick=not args.full,
                 result={k: jsonable(v) for k, v in result.items() if k != "report"},
+                profile=profile,
             ))
     if args.json:
         if len(artifacts) == 1:

@@ -21,8 +21,24 @@ simulation kernel can build *on top of* the instruments (``repro.sim``
 -> ``repro.obs``, never the other way).
 """
 
+from .analyze import (
+    LAYERS,
+    CriticalPath,
+    PathSegment,
+    ScopeStat,
+    SpanNode,
+    attribution_table,
+    critical_path,
+    fig7_stage_durations,
+    layer_attribution,
+    scope_stats,
+    span_tree,
+    summary_table,
+)
+from .diff import Delta, RunDiff, flatten_numeric
 from .export import (
     RUN_SCHEMA,
+    RUN_SCHEMA_V1,
     RunArtifact,
     chrome_trace_events,
     chrome_trace_json,
@@ -31,24 +47,41 @@ from .export import (
     spans_of,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .profile import EnvProfiler
+from .profile import EnvProfiler, aggregate_profiles
 from .span import NULL_SPAN, Instant, Span, Tracer
 
 __all__ = [
     "Counter",
+    "CriticalPath",
+    "Delta",
     "EnvProfiler",
     "Gauge",
     "Histogram",
     "Instant",
+    "LAYERS",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PathSegment",
     "RUN_SCHEMA",
+    "RUN_SCHEMA_V1",
     "RunArtifact",
+    "RunDiff",
+    "ScopeStat",
     "Span",
+    "SpanNode",
     "Tracer",
+    "aggregate_profiles",
+    "attribution_table",
     "chrome_trace_events",
     "chrome_trace_json",
+    "critical_path",
+    "fig7_stage_durations",
+    "flatten_numeric",
     "jsonable",
+    "layer_attribution",
     "records_of",
+    "scope_stats",
+    "span_tree",
     "spans_of",
+    "summary_table",
 ]

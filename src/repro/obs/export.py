@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "RUN_SCHEMA",
+    "RUN_SCHEMA_V1",
     "RunArtifact",
     "chrome_trace_events",
     "chrome_trace_json",
@@ -32,7 +33,11 @@ __all__ = [
     "spans_of",
 ]
 
-RUN_SCHEMA = "repro.run/1"
+#: current artifact schema: v2 adds the aggregated EnvProfiler snapshot
+#: (``profile``) to every ``--json`` artifact (v1 left it empty unless a
+#: cluster opted in); loading still accepts v1 documents.
+RUN_SCHEMA = "repro.run/2"
+RUN_SCHEMA_V1 = "repro.run/1"
 BATCH_SCHEMA = "repro.run-batch/1"
 
 #: trace-record event names that carry span bookkeeping (already
@@ -206,12 +211,15 @@ class RunArtifact:
         if not isinstance(data, dict):
             raise ValueError(f"artifact must be a JSON object, got {type(data).__name__}")
         schema = data.get("schema")
-        if schema != RUN_SCHEMA:
+        if schema not in (RUN_SCHEMA, RUN_SCHEMA_V1):
             raise ValueError(f"unknown artifact schema {schema!r} (want {RUN_SCHEMA!r})")
         if not data.get("experiment"):
             raise ValueError("artifact missing 'experiment'")
         fields = {f.name for f in dataclasses.fields(cls)}
-        return cls(**{k: v for k, v in data.items() if k in fields})
+        loaded = cls(**{k: v for k, v in data.items() if k in fields})
+        # v1 documents upgrade in place: same fields, profile just empty.
+        loaded.schema = RUN_SCHEMA
+        return loaded
 
     @classmethod
     def load(cls, path: str) -> "RunArtifact":

@@ -146,11 +146,23 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Approximate ``p``-th percentile (0 <= p <= 100)."""
+        """Approximate ``p``-th percentile (0 <= p <= 100).
+
+        Defined edge cases (exact, not bucket-approximated):
+
+        * empty histogram -> ``0.0`` (there is no distribution to ask);
+        * ``p == 0`` -> the exact minimum, ``p == 100`` -> the exact
+          maximum (a histogram tracks both precisely);
+        * a single-sample histogram returns that sample for every ``p``.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile {p!r} out of [0, 100]")
         if self.count == 0:
             return 0.0
+        if p == 0 or self.count == 1:
+            return self.minimum
+        if p == 100:
+            return self.maximum
         rank = max(1, math.ceil(p / 100.0 * self.count))
         if rank <= self._underflow:
             return min(self.minimum, 0.0)

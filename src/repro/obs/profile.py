@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable
 
-__all__ = ["EnvProfiler"]
+__all__ = ["EnvProfiler", "aggregate_profiles"]
 
 
 class EnvProfiler:
@@ -68,3 +68,36 @@ class EnvProfiler:
     def __repr__(self) -> str:
         return (f"<EnvProfiler events={self.events_processed} "
                 f"high_water={self.queue_high_water}>")
+
+
+def aggregate_profiles(profiles: Iterable[Any]) -> Dict[str, Any]:
+    """Merge profiler tallies from several environments into one snapshot.
+
+    ``profiles`` may hold :class:`EnvProfiler` objects or their
+    ``snapshot()`` dicts (mixing is fine).  Event counts and the
+    per-type/per-process tallies sum; the queue high-water mark is the
+    max across environments; ``environments`` records how many were
+    merged.  An experiment that builds many clusters (a size sweep)
+    thereby reports one simulator-cost summary per run artifact.
+    """
+    merged: Dict[str, Any] = {
+        "environments": 0,
+        "events_processed": 0,
+        "events_scheduled": 0,
+        "queue_high_water": 0,
+        "per_type": {},
+        "per_process": {},
+    }
+    for prof in profiles:
+        snap = prof.snapshot() if hasattr(prof, "snapshot") else prof
+        merged["environments"] += 1
+        merged["events_processed"] += snap.get("events_processed", 0)
+        merged["events_scheduled"] += snap.get("events_scheduled", 0)
+        merged["queue_high_water"] = max(
+            merged["queue_high_water"], snap.get("queue_high_water", 0))
+        for field in ("per_type", "per_process"):
+            for key, count in (snap.get(field) or {}).items():
+                merged[field][key] = merged[field].get(key, 0) + count
+    merged["per_type"] = dict(sorted(merged["per_type"].items()))
+    merged["per_process"] = dict(sorted(merged["per_process"].items()))
+    return merged

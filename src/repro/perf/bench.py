@@ -1,0 +1,280 @@
+"""The pinned benchmark suite behind ``python -m repro.perf bench``.
+
+Each scenario measures a headline point of the reproduction (the
+paper's latency/bandwidth claims, the Figure-7 layer budget, one
+resilience point) and reports three kinds of cost:
+
+* **simulated metrics** — deterministic given the seeds, so they gate
+  regressions tightly (the ``gates`` section, each with a direction and
+  a relative tolerance);
+* **simulator cost** — aggregated :class:`~repro.obs.EnvProfiler`
+  tallies (events processed/scheduled, queue high-water), catching
+  "the simulation got slower" regressions that simulated time hides;
+* **wall clock** — informational only (machine-dependent, never gated).
+
+The Figure-7 scenario additionally cross-checks the span-derived layer
+attribution (:func:`repro.obs.critical_path`) against the classic
+timeline extraction of :mod:`repro.experiments.fig7` and fails loudly
+if the two disagree by more than :data:`CROSSCHECK_TOLERANCE`.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..obs import aggregate_profiles, critical_path, fig7_stage_durations, jsonable
+from ..sim import profiled
+
+__all__ = [
+    "BASELINE_PATH",
+    "BENCH_SCHEMA",
+    "CROSSCHECK_TOLERANCE",
+    "SCENARIOS",
+    "current_rev",
+    "run_bench",
+    "write_bench",
+]
+
+BENCH_SCHEMA = "repro.bench/1"
+
+#: where ``repro.perf check`` finds the committed baseline by default
+BASELINE_PATH = "benchmarks/baselines/BENCH_baseline.json"
+
+#: max relative disagreement between span-derived and timeline-derived
+#: Figure-7 stage durations before the bench itself errors out
+CROSSCHECK_TOLERANCE = 0.05
+
+#: default relative tolerance on gated simulated metrics
+GATE_TOLERANCE = 0.05
+
+#: looser tolerance for the stochastic resilience point (seeded, but a
+#: protocol change legitimately moves loss-recovery timings around)
+RESILIENCE_TOLERANCE = 0.10
+
+#: simulator-cost drift allowed before the events-processed gate trips
+PROFILE_TOLERANCE = 0.25
+
+
+def _gate(value: float, better: str, tol: float = GATE_TOLERANCE) -> Dict[str, Any]:
+    """One gated metric: its value, which direction is good, and tol."""
+    if better not in ("lower", "higher"):
+        raise ValueError(f"better must be lower/higher, got {better!r}")
+    return {"value": value, "better": better, "tol": tol}
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+def _scenario_headline(quick: bool) -> Tuple[Dict, Dict]:
+    """0-byte one-way latency, CLIC vs TCP (the paper's 36 us claim)."""
+    from ..cluster import Cluster
+    from ..config import granada2003
+    from ..workloads import clic_pair, pingpong, tcp_pair
+
+    repeats = 3 if quick else 10
+    clic = pingpong(Cluster(granada2003()), clic_pair(), 0, repeats=repeats, warmup=1)
+    tcp = pingpong(Cluster(granada2003()), tcp_pair(), 0, repeats=repeats, warmup=1)
+    gates = {
+        "clic_latency_us": _gate(clic.one_way_ns / 1000, "lower"),
+        "tcp_latency_us": _gate(tcp.one_way_ns / 1000, "lower"),
+    }
+    metrics = {"clic_rtt_us": clic.rtt_ns / 1000, "tcp_rtt_us": tcp.rtt_ns / 1000}
+    return gates, metrics
+
+
+def _scenario_fig4(quick: bool) -> Tuple[Dict, Dict]:
+    """Figure 4 headline: stream bandwidth per MTU, 0-copy CLIC."""
+    from ..config import MTU_JUMBO, MTU_STANDARD, granada2003
+    from ..experiments.common import sweep_stream
+    from ..workloads import clic_pair
+
+    nbytes, messages = (1_000_000, 8) if quick else (2_000_000, 16)
+    jumbo = sweep_stream("CLIC 9000", lambda: granada2003(mtu=MTU_JUMBO),
+                         clic_pair, [nbytes], messages=messages).asymptote()
+    std = sweep_stream("CLIC 1500", lambda: granada2003(mtu=MTU_STANDARD),
+                       clic_pair, [nbytes], messages=messages).asymptote()
+    gates = {
+        "bw_mtu9000_mbps": _gate(jumbo, "higher"),
+        "bw_mtu1500_mbps": _gate(std, "higher"),
+    }
+    metrics = {"jumbo_gain_mbps": jumbo - std, "message_bytes": nbytes}
+    return gates, metrics
+
+
+def _scenario_fig5(quick: bool) -> Tuple[Dict, Dict]:
+    """Figure 5 headline: CLIC-over-TCP bandwidth ratio at MTU 9000."""
+    from ..config import MTU_JUMBO, granada2003
+    from ..experiments.common import sweep_pingpong
+    from ..workloads import clic_pair, tcp_pair
+
+    nbytes = 1_000_000
+    clic = sweep_pingpong("CLIC 9000", lambda: granada2003(mtu=MTU_JUMBO),
+                          clic_pair, [nbytes]).mbps[0]
+    tcp = sweep_pingpong("TCP 9000", lambda: granada2003(mtu=MTU_JUMBO),
+                         tcp_pair, [nbytes]).mbps[0]
+    gates = {
+        "clic_mbps": _gate(clic, "higher"),
+        "tcp_mbps": _gate(tcp, "higher"),
+        "clic_over_tcp": _gate(clic / tcp, "higher"),
+    }
+    return gates, {"message_bytes": nbytes}
+
+
+def _scenario_fig7(quick: bool) -> Tuple[Dict, Dict]:
+    """Span-derived Figure-7 layer budget, cross-checked vs the classic
+    timeline extraction (the two must agree within 5%)."""
+    from ..trace import capture_fig7
+
+    art = capture_fig7()
+    path = critical_path(art.spans, art.records, art.result["packet_id"],
+                         "node0", "node1")
+    layers_us = {layer: ns / 1000 for layer, ns in path.layer_ns().items()}
+
+    # Regroup the experiment's stage list the same way fig7_stage_durations
+    # groups path hops (the two receiver software stages merge).
+    derived = {k: v / 1000 for k, v in fig7_stage_durations(path).items()}
+    legacy: Dict[str, float] = {}
+    for stage in art.result["stages"]:
+        name = stage["name"]
+        if name in ("bottom halves -> CLIC_MODULE", "CLIC_MODULE copy to user + wake"):
+            name = "receiver: post-DMA software path"
+        legacy[name] = legacy.get(name, 0.0) + (stage["end_ns"] - stage["start_ns"]) / 1000
+    max_rel = 0.0
+    for name, want in legacy.items():
+        got = derived.get(name)
+        if got is None:
+            raise ValueError(f"span-derived path lacks Figure-7 stage {name!r}")
+        rel = abs(got - want) / want if want else abs(got)
+        max_rel = max(max_rel, rel)
+        if rel > CROSSCHECK_TOLERANCE:
+            raise ValueError(
+                f"span-derived stage {name!r} disagrees with the fig7 "
+                f"experiment: {got:.2f} vs {want:.2f} us ({rel:.1%})")
+
+    gates = {
+        "total_us": _gate(path.total_us, "lower"),
+        **{f"{layer}_us": _gate(us, "lower")
+           for layer, us in layers_us.items() if us > 0.0},
+    }
+    metrics = {
+        "layers_us": layers_us,
+        "layer_shares": path.layer_shares(),
+        "stages_us": derived,
+        "crosscheck_max_rel": max_rel,
+        "path_hops": len(path.segments),
+    }
+    return gates, metrics
+
+
+def _scenario_resilience(quick: bool) -> Tuple[Dict, Dict]:
+    """One resilience point: CLIC goodput under 2% uniform frame loss."""
+    from ..cluster import Cluster
+    from ..config import granada2003
+    from ..faults import FaultPlan
+    from ..workloads import clic_pair, stream
+
+    messages = 24 if quick else 96
+    cfg = granada2003(mtu=1500)
+    cluster = Cluster(cfg, protocols=("clic",), faults=FaultPlan.uniform(0.02))
+    res = stream(cluster, clic_pair(), 16_384, messages=messages)
+
+    def counter_sum(suffix: str) -> float:
+        return sum(inst.value for name, inst in cluster.metrics.items()
+                   if inst.kind == "counter" and name.endswith(suffix))
+
+    # ``pkts_retx`` counts every retransmitted data packet; the
+    # ``.retransmitted`` counter alone would miss fast retransmits,
+    # which dominate recovery at this loss rate.
+    registered = counter_sum(".registered")
+    retransmitted = counter_sum(".pkts_retx")
+    gates = {
+        "goodput_mbps": _gate(res.bandwidth_mbps, "higher", RESILIENCE_TOLERANCE),
+        "retx_overhead": _gate(retransmitted / registered if registered else 0.0,
+                               "lower", RESILIENCE_TOLERANCE),
+    }
+    metrics = {
+        "loss_rate": 0.02,
+        "fault_drops": counter_sum(".loss_drops"),
+        "fast_retransmits": counter_sum(".fast_retransmits"),
+        "timeout_retransmits": counter_sum(".retransmitted"),
+        "elapsed_ms": res.elapsed_ns / 1e6,
+    }
+    return gates, metrics
+
+
+#: scenario name -> runner(quick) -> (gates, metrics); pinned order
+SCENARIOS: List[Tuple[str, Callable[[bool], Tuple[Dict, Dict]]]] = [
+    ("headline", _scenario_headline),
+    ("fig4", _scenario_fig4),
+    ("fig5", _scenario_fig5),
+    ("fig7", _scenario_fig7),
+    ("resilience", _scenario_resilience),
+]
+
+
+# ---------------------------------------------------------------------------
+# suite driver
+# ---------------------------------------------------------------------------
+
+def current_rev() -> str:
+    """Short git revision of the working tree, or ``local`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+        return out.stdout.strip() or "local"
+    except Exception:
+        return "local"
+
+
+def run_bench(quick: bool = True, scenarios: Optional[List[str]] = None,
+              rev: Optional[str] = None) -> Dict[str, Any]:
+    """Run the pinned suite and return the bench document (plain dict)."""
+    wanted = {name for name, _ in SCENARIOS} if scenarios is None else set(scenarios)
+    unknown = wanted - {name for name, _ in SCENARIOS}
+    if unknown:
+        raise KeyError(f"unknown scenarios {sorted(unknown)}; "
+                       f"have {[name for name, _ in SCENARIOS]}")
+    doc: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "rev": rev if rev is not None else current_rev(),
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "scenarios": {},
+    }
+    total_wall = 0.0
+    total_events = {"events_processed": 0, "events_scheduled": 0}
+    for name, runner in SCENARIOS:
+        if name not in wanted:
+            continue
+        t0 = time.perf_counter()
+        with profiled() as profilers:
+            gates, metrics = runner(quick)
+        wall = time.perf_counter() - t0
+        profile = aggregate_profiles(profilers)
+        gates["events_processed"] = _gate(
+            float(profile["events_processed"]), "lower", PROFILE_TOLERANCE)
+        doc["scenarios"][name] = {
+            "gates": gates,
+            "metrics": metrics,
+            "profile": profile,
+            "wall_s": round(wall, 3),
+        }
+        total_wall += wall
+        for key in total_events:
+            total_events[key] += profile[key]
+    doc["totals"] = {"wall_s": round(total_wall, 3), **total_events}
+    return jsonable(doc)
+
+
+def write_bench(doc: Dict[str, Any], path: str) -> None:
+    """Write a bench document as deterministic, sorted-key JSON."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

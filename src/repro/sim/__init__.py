@@ -18,6 +18,7 @@ from .core import (
     Process,
     SimulationError,
     Timeout,
+    profiled,
 )
 from .monitor import BusyTracker, Counters, IntervalStats, Trace, TraceRecord
 from .resources import (
@@ -52,4 +53,5 @@ __all__ = [
     "Timeout",
     "Trace",
     "TraceRecord",
+    "profiled",
 ]

@@ -15,7 +15,8 @@ in FIFO order of scheduling, which keeps every simulation bit-reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from contextlib import contextmanager
+from typing import Any, Callable, Generator, Iterable, Iterator, List, Optional
 
 __all__ = [
     "Environment",
@@ -30,6 +31,7 @@ __all__ = [
     "StopSimulation",
     "URGENT",
     "NORMAL",
+    "profiled",
 ]
 
 #: Scheduling priority for events that must run before ordinary events at
@@ -38,6 +40,31 @@ __all__ = [
 URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
+
+#: When a :func:`profiled` block is active, every new Environment
+#: attaches an :class:`~repro.obs.profile.EnvProfiler` and registers it
+#: here, so tooling (``repro.perf``, ``--json`` artifact capture) can
+#: account simulator cost without threading a flag through every config.
+_PROFILE_SINK: Optional[List[Any]] = None
+
+
+@contextmanager
+def profiled() -> Iterator[List[Any]]:
+    """Profile every :class:`Environment` created inside the block.
+
+    Yields the list the profilers accumulate into (one
+    :class:`~repro.obs.profile.EnvProfiler` per environment, in creation
+    order); aggregate it with
+    :func:`repro.obs.profile.aggregate_profiles`.  Blocks nest — the
+    inner block temporarily shadows the outer sink.
+    """
+    global _PROFILE_SINK
+    sink: List[Any] = []
+    prev, _PROFILE_SINK = _PROFILE_SINK, sink
+    try:
+        yield sink
+    finally:
+        _PROFILE_SINK = prev
 
 
 class SimulationError(Exception):
@@ -374,8 +401,10 @@ class Environment:
         self._active_proc: Optional[Process] = None
         #: optional :class:`~repro.obs.profile.EnvProfiler`
         self.profiler = None
-        if profile:
+        if profile or _PROFILE_SINK is not None:
             self.enable_profiling()
+        if _PROFILE_SINK is not None:
+            _PROFILE_SINK.append(self.profiler)
 
     def enable_profiling(self):
         """Attach (or return the existing) event-loop profiler."""

@@ -12,6 +12,7 @@ Typical invocations::
 
     python -m repro.trace --chrome -o fig7.trace.json
     python -m repro.trace --variant direct --spans
+    python -m repro.trace --summary --top 10
     python -m repro.trace --artifact fig7.artifact.json
     python -m repro.trace --input fig7.artifact.json --chrome
 
@@ -136,6 +137,15 @@ def main(argv=None) -> int:
         help="emit a human-readable span listing instead of Chrome JSON",
     )
     parser.add_argument(
+        "--summary", action="store_true",
+        help="emit a top-N table of scopes by total/self time instead of "
+             "Chrome JSON (inspect a trace without a viewer)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="number of rows in the --summary table (default 15)",
+    )
+    parser.add_argument(
         "--artifact", metavar="PATH", default=None,
         help="also write the full RunArtifact JSON to PATH",
     )
@@ -164,6 +174,11 @@ def main(argv=None) -> int:
     spans, records = _filtered(artifact, args.source, args.event)
     if args.spans:
         out = _span_listing(spans)
+    elif args.summary:
+        from .obs import summary_table
+
+        out = summary_table(spans, top=args.top,
+                            title=f"{artifact.experiment}: top scopes by self time")
     else:
         out = chrome_trace_json(spans, records, indent=args.indent)
 

@@ -7,6 +7,7 @@ import pytest
 
 from repro.obs import (
     RUN_SCHEMA,
+    RUN_SCHEMA_V1,
     RunArtifact,
     chrome_trace_events,
     chrome_trace_json,
@@ -80,6 +81,45 @@ def test_run_artifact_round_trip(tmp_path):
     assert loaded.schema == RUN_SCHEMA
     # An artifact loaded from disk can still export Chrome JSON.
     assert json.loads(loaded.chrome_json())["traceEvents"]
+
+
+def test_run_artifact_to_dict_is_a_fixed_point():
+    """to_dict -> from_dict -> to_dict must be the identity, including
+    the schema-2 profile field."""
+    art = RunArtifact(
+        experiment="fig7",
+        result={"total_us": 84.9},
+        profile={"events_processed": 10, "per_type": {"timer": 4}},
+        spans=SPANS,
+        records=RECORDS,
+    )
+    once = art.to_dict()
+    twice = RunArtifact.from_dict(once).to_dict()
+    assert once == twice
+    assert once["schema"] == RUN_SCHEMA
+    assert once["profile"]["per_type"] == {"timer": 4}
+
+
+def test_run_artifact_loads_schema_v1():
+    """Pre-profile artifacts (schema v1) load and upgrade in place."""
+    art = RunArtifact.from_dict({
+        "schema": RUN_SCHEMA_V1, "experiment": "fig7",
+        "result": {"total_us": 84.9},
+    })
+    assert art.schema == RUN_SCHEMA  # upgraded on load
+    assert art.profile == {}
+    assert art.result["total_us"] == 84.9
+
+
+def test_chrome_export_is_deterministic_across_runs():
+    """Two identical seeded captures export byte-identical Chrome JSON
+    (and artifact JSON) — the reproducibility contract of the tracer."""
+    from repro.trace import capture_fig7
+
+    a, b = capture_fig7(), capture_fig7()
+    assert a.chrome_json() == b.chrome_json()
+    assert a.to_json() == b.to_json()
+    assert a.profile and a.profile == b.profile
 
 
 def test_run_artifact_validation():

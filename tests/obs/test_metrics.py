@@ -80,6 +80,25 @@ def test_histogram_single_sample_all_percentiles():
         assert hist.percentile(p) == 123.0
 
 
+def test_histogram_percentile_exact_extremes():
+    """p=0 / p=100 return the exact tracked min/max, not the nearest
+    bucket boundary — including a negative minimum from the underflow
+    bucket."""
+    hist = Histogram()
+    for v in (-7.5, 1.0, 2.0, 3.0, 1e6):
+        hist.record(v)
+    assert hist.percentile(0) == -7.5
+    assert hist.percentile(100) == 1e6
+    # Interior percentiles still go through the bucket approximation.
+    assert -7.5 <= hist.percentile(50) <= 1e6
+
+
+def test_histogram_empty_every_percentile_is_zero():
+    hist = Histogram()
+    for p in (0, 50, 100):
+        assert hist.percentile(p) == 0.0
+
+
 def test_registry_get_or_create_and_kind_conflict():
     reg = MetricsRegistry()
     c = reg.counter("a.count")

@@ -58,6 +58,25 @@ def test_cli_span_listing(capsys):
     assert f"{PIPELINE_SCOPE}/NIC DMA + flight" in out
 
 
+def test_cli_summary_table(capsys):
+    assert main(["--summary", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "top scopes by self time" in out
+    assert "self us" in out
+    # --top bounds the table: header + separator + title + <= 3 rows.
+    rows = [l for l in out.splitlines() if l.count("|") >= 4]
+    assert 1 <= len(rows) - 1 <= 3  # minus the header row
+    # Summary works offline from a saved artifact too.
+
+
+def test_cli_summary_from_artifact(tmp_path, capsys):
+    art_path = tmp_path / "run.json"
+    assert main(["--artifact", str(art_path), "-o", str(tmp_path / "t.json")]) == 0
+    capsys.readouterr()
+    assert main(["--input", str(art_path), "--summary"]) == 0
+    assert "top scopes by self time" in capsys.readouterr().out
+
+
 def test_cli_artifact_write_and_reload(tmp_path, capsys):
     art_path = tmp_path / "run.json"
     out_path = tmp_path / "trace.json"
@@ -81,3 +100,6 @@ def test_experiments_json_flag(tmp_path, capsys):
     assert "report" not in art.result
     assert art.result["a"]["total_us"] > 0
     json.loads(art.to_json())  # round-trips
+    # Every --json artifact now carries aggregated simulator-cost stats.
+    assert art.profile["environments"] >= 1
+    assert art.profile["events_processed"] > 0
