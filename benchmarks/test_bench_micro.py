@@ -29,6 +29,33 @@ def test_event_loop_throughput(benchmark):
     assert result == 100_000
 
 
+def test_timer_churn_throughput(benchmark):
+    """Raw engine: the retransmission-timer pattern — arm a
+    ``call_later`` handle, cancel it on the next step, re-arm.  This is
+    the hot path the reliability and NIC layers sit on."""
+
+    def churn():
+        env = Environment()
+        state = {"handle": None, "fired": 0}
+
+        def fire():
+            state["fired"] += 1
+
+        def driver():
+            for _ in range(10_000):
+                if state["handle"] is not None:
+                    state["handle"].cancel()
+                state["handle"] = env.call_later(1_000, fire)
+                yield env.timeout(10)
+
+        env.process(driver())
+        env.run()
+        return state["fired"]
+
+    fired = benchmark(churn)
+    assert fired == 1
+
+
 def test_clic_pingpong_simulation_speed(benchmark):
     """End-to-end: one 64 KB CLIC ping-pong per round."""
 

@@ -46,6 +46,7 @@ def _reset_global_ids() -> None:
     from ..oskernel import skbuff as osk_skbuff
     from ..protocols import headers
     from ..protocols.tcpip import tcp
+    from ..workloads import adapters
 
     nic_base._desc_ids = itertools.count(1)
     nic_frames._frame_ids = itertools.count(1)
@@ -53,6 +54,10 @@ def _reset_global_ids() -> None:
     osk_skbuff._skb_ids = itertools.count(1)
     headers._packet_ids = itertools.count(1)
     tcp._conn_ids = itertools.count(1)
+    # Auto-assigned workload ports too: a cluster built in a pool worker
+    # must bind the same ports as the same cluster built serially, or
+    # parallel sweeps would not be byte-identical (see repro.parallel).
+    adapters._ports = itertools.count(100)
 
 
 class Cluster:

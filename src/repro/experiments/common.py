@@ -11,6 +11,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..cluster import Cluster
 from ..config import ClusterConfig, granada2003
+from ..parallel import run_tasks
 from ..workloads import SweepSeries, netpipe_sizes, pingpong, stream
 
 __all__ = [
@@ -43,21 +44,37 @@ def full_sizes() -> List[int]:
     return netpipe_sizes(1, 7, points_per_decade=2)
 
 
+def _pingpong_point(spec):
+    """One ping-pong sweep point from a pure-data spec (pool-safe)."""
+    cfg, setup_factory, nbytes, repeats = spec
+    cluster = Cluster(cfg)
+    return pingpong(cluster, setup_factory(), nbytes, repeats=repeats, warmup=1)
+
+
 def sweep_pingpong(
     label: str,
     cfg_factory: Callable[[], ClusterConfig],
     setup_factory: Callable,
     sizes: Sequence[int],
     repeats: int = 1,
+    jobs: int = 1,
 ) -> SweepSeries:
-    """NetPIPE-style ping-pong bandwidth curve."""
-    series = SweepSeries(label)
-    for nbytes in sizes:
-        cluster = Cluster(cfg_factory())
-        series.points.append(
-            pingpong(cluster, setup_factory(), nbytes, repeats=repeats, warmup=1)
-        )
-    return series
+    """NetPIPE-style ping-pong bandwidth curve.
+
+    The configs are materialized up front (pure data), so with
+    ``jobs > 1`` the points fan out over a process pool and workers
+    rebuild each cluster from its config; ``setup_factory`` must then be
+    a module-level callable (``clic_pair``, ``tcp_pair``, ...).
+    """
+    specs = [(cfg_factory(), setup_factory, nbytes, repeats) for nbytes in sizes]
+    return SweepSeries(label, run_tasks(_pingpong_point, specs, jobs=jobs))
+
+
+def _stream_point(spec):
+    """One stream sweep point from a pure-data spec (pool-safe)."""
+    cfg, setup_factory, nbytes, messages = spec
+    cluster = Cluster(cfg)
+    return stream(cluster, setup_factory(), nbytes, messages=messages)
 
 
 def sweep_stream(
@@ -66,17 +83,22 @@ def sweep_stream(
     setup_factory: Callable,
     sizes: Sequence[int],
     messages: int = 12,
+    jobs: int = 1,
 ) -> "SweepSeries":
     """Pipelined stream bandwidth curve (ttcp-style), wrapped so the
-    SweepSeries helpers (asymptote, half-bandwidth) apply."""
+    SweepSeries helpers (asymptote, half-bandwidth) apply.  Parallel
+    fan-out works exactly as in :func:`sweep_pingpong`."""
     from ..workloads.pingpong import PingPongResult
 
+    specs = [(cfg_factory(), setup_factory, nbytes, messages) for nbytes in sizes]
     series = SweepSeries(label)
-    for nbytes in sizes:
-        cluster = Cluster(cfg_factory())
-        result = stream(cluster, setup_factory(), nbytes, messages=messages)
-        per_message_ns = result.elapsed_ns / messages
-        series.points.append(
-            PingPongResult(nbytes=nbytes, repeats=messages, rtt_ns=2 * per_message_ns)
+    for result in run_tasks(_stream_point, specs, jobs=jobs):
+        per_message_ns = result.elapsed_ns / result.messages
+        series.add(
+            PingPongResult(
+                nbytes=result.nbytes_total // result.messages,
+                repeats=result.messages,
+                rtt_ns=2 * per_message_ns,
+            )
         )
     return series

@@ -37,15 +37,15 @@ CONFIGS = [
 ]
 
 
-def run(quick: bool = True) -> Dict:
+def run(quick: bool = True, jobs: int = 1) -> Dict:
     """Run the experiment; returns results incl. a printable report."""
     sizes = quick_sizes() if quick else full_sizes()
     pp_series = []
     st_series = []
     for label, mtu, zero_copy in CONFIGS:
         cfg_factory = lambda m=mtu, z=zero_copy: granada2003(mtu=m, zero_copy=z)
-        pp_series.append(sweep_pingpong(f"pp {label}", cfg_factory, clic_pair, sizes))
-        st_series.append(sweep_stream(f"st {label}", cfg_factory, clic_pair, sizes))
+        pp_series.append(sweep_pingpong(f"pp {label}", cfg_factory, clic_pair, sizes, jobs=jobs))
+        st_series.append(sweep_stream(f"st {label}", cfg_factory, clic_pair, sizes, jobs=jobs))
 
     report = "\n\n".join(
         [

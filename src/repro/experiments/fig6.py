@@ -24,6 +24,7 @@ from ..cluster import Cluster
 from ..config import MTU_JUMBO, granada2003
 from ..mpi import build_world
 from ..pvm import pvm_pair
+from ..parallel import run_tasks
 from ..workloads import SweepSeries, clic_pair, pingpong
 from ..workloads.pingpong import PingPongResult
 from .common import check, full_sizes, quick_sizes, sweep_pingpong
@@ -57,33 +58,37 @@ def mpi_pingpong(transport: str, nbytes: int, repeats: int = 1, warmup: int = 1)
     return PingPongResult(nbytes=nbytes, repeats=repeats, rtt_ns=rtt)
 
 
-def mpi_sweep(label: str, transport: str, sizes) -> SweepSeries:
+def _mpi_point(spec):
+    """One MPI sweep point from a pure-data spec (pool-safe)."""
+    transport, nbytes = spec
+    return mpi_pingpong(transport, nbytes)
+
+
+def mpi_sweep(label: str, transport: str, sizes, jobs: int = 1) -> SweepSeries:
     """Bandwidth curve through the MPI layer on the given transport."""
-    series = SweepSeries(label)
-    for nbytes in sizes:
-        series.points.append(mpi_pingpong(transport, nbytes))
-    return series
+    specs = [(transport, nbytes) for nbytes in sizes]
+    return SweepSeries(label, run_tasks(_mpi_point, specs, jobs=jobs))
 
 
-def pvm_sweep(label: str, sizes) -> SweepSeries:
+def _pvm_point(nbytes: int) -> PingPongResult:
+    """One PVM sweep point (pool-safe)."""
+    cluster = Cluster(granada2003(mtu=MTU_JUMBO))
+    return pingpong(cluster, pvm_pair(cluster.cfg.pvm), nbytes, repeats=1, warmup=1)
+
+
+def pvm_sweep(label: str, sizes, jobs: int = 1) -> SweepSeries:
     """Bandwidth curve through the PVM layer (over TCP)."""
-    series = SweepSeries(label)
-    for nbytes in sizes:
-        cluster = Cluster(granada2003(mtu=MTU_JUMBO))
-        series.points.append(
-            pingpong(cluster, pvm_pair(cluster.cfg.pvm), nbytes, repeats=1, warmup=1)
-        )
-    return series
+    return SweepSeries(label, run_tasks(_pvm_point, list(sizes), jobs=jobs))
 
 
-def run(quick: bool = True) -> Dict:
+def run(quick: bool = True, jobs: int = 1) -> Dict:
     """Run the experiment; returns results incl. a printable report."""
     sizes = quick_sizes() if quick else full_sizes()
     series = [
-        sweep_pingpong("CLIC", lambda: granada2003(mtu=MTU_JUMBO), clic_pair, sizes),
-        mpi_sweep("MPI-CLIC", "clic", sizes),
-        mpi_sweep("MPI/TCP", "tcp", sizes),
-        pvm_sweep("PVM/TCP", sizes),
+        sweep_pingpong("CLIC", lambda: granada2003(mtu=MTU_JUMBO), clic_pair, sizes, jobs=jobs),
+        mpi_sweep("MPI-CLIC", "clic", sizes, jobs=jobs),
+        mpi_sweep("MPI/TCP", "tcp", sizes, jobs=jobs),
+        pvm_sweep("PVM/TCP", sizes, jobs=jobs),
     ]
     report = "\n\n".join(
         [

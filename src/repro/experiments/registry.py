@@ -1,20 +1,27 @@
 """Experiment registry and CLI.
 
 ``python -m repro.experiments <id> [--full]`` runs one experiment and
-prints its report; ``all`` runs the whole battery (the contents of
-EXPERIMENTS.md).  With ``--json PATH`` the result dicts (minus the
-printable report) are also written as schema-tagged
-:class:`~repro.obs.RunArtifact` JSON — one artifact for a single
-experiment, a ``repro.run-batch/1`` document for ``all``.
+prints its report; ``all`` (or several ids) runs a battery.  With
+``--json PATH`` the result dicts (minus the printable report) are also
+written as schema-tagged :class:`~repro.obs.RunArtifact` JSON — one
+artifact for a single experiment, a ``repro.run-batch/1`` document for
+a battery.
+
+``--jobs N`` fans the work out over N worker processes: a battery
+parallelizes across experiments, a single experiment across its sweep
+points (when its runner takes ``jobs``).  Results are assembled in
+submission order, so the artifacts are byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+import inspect
 import json
 from typing import Callable, Dict
 
 from ..obs import RunArtifact, aggregate_profiles, jsonable
 from ..obs.export import BATCH_SCHEMA
+from ..parallel import add_jobs_argument, resolve_jobs, run_tasks, run_tasks_profiled
 from ..sim import profiled
 
 from . import (
@@ -50,13 +57,25 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
-def run_experiment(name: str, quick: bool = True) -> Dict:
-    """Run one registered experiment; returns its result dict."""
+def run_experiment(name: str, quick: bool = True, jobs: int = 1) -> Dict:
+    """Run one registered experiment; returns its result dict.
+
+    ``jobs`` is forwarded to runners that accept it (sweep-style
+    experiments parallelize their points) and ignored otherwise.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(f"unknown experiment {name!r}; have {sorted(EXPERIMENTS)}") from None
+    if jobs != 1 and "jobs" in inspect.signature(runner).parameters:
+        return runner(quick=quick, jobs=jobs)
     return runner(quick=quick)
+
+
+def _battery_task(spec) -> Dict:
+    """One battery entry from a pure-data spec (module-level: pool-safe)."""
+    name, quick = spec
+    return run_experiment(name, quick=quick)
 
 
 def main(argv=None) -> int:
@@ -67,7 +86,10 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Reproduce the paper's tables and figures",
     )
-    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument(
+        "experiment", nargs="+", choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id(s); 'all' expands to the whole battery",
+    )
     parser.add_argument(
         "--full", action="store_true",
         help="use the paper's full 10^1..10^7 size grid (slower)",
@@ -76,25 +98,42 @@ def main(argv=None) -> int:
         "--json", metavar="PATH", default=None,
         help="also write the result dict(s) (minus report) as RunArtifact JSON",
     )
+    add_jobs_argument(parser)
     args = parser.parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    artifacts = []
-    for name in names:
+    names = list(dict.fromkeys(
+        name
+        for entry in args.experiment
+        for name in (sorted(EXPERIMENTS) if entry == "all" else [entry])
+    ))
+    jobs = resolve_jobs(args.jobs)
+    quick = not args.full
+
+    if len(names) == 1:
+        # Single experiment: parallelism (if any) lives inside its sweep.
         if args.json:
             # Profile every environment the experiment builds so the
             # artifact records simulator cost alongside simulated results.
             with profiled() as profilers:
-                result = run_experiment(name, quick=not args.full)
-            profile = aggregate_profiles(profilers)
+                result = run_experiment(names[0], quick=quick, jobs=jobs)
+            pairs = [(result, aggregate_profiles(profilers))]
         else:
-            result = run_experiment(name, quick=not args.full)
-            profile = {}
+            pairs = [(run_experiment(names[0], quick=quick, jobs=jobs), {})]
+    else:
+        # Battery: fan out across experiments, one worker each.
+        specs = [(name, quick) for name in names]
+        if args.json:
+            pairs = run_tasks_profiled(_battery_task, specs, jobs=jobs)
+        else:
+            pairs = [(r, {}) for r in run_tasks(_battery_task, specs, jobs=jobs)]
+
+    artifacts = []
+    for name, (result, profile) in zip(names, pairs):
         print(result["report"])
         print()
         if args.json:
             artifacts.append(RunArtifact(
                 experiment=name,
-                quick=not args.full,
+                quick=quick,
                 result={k: jsonable(v) for k, v in result.items() if k != "report"},
                 profile=profile,
             ))

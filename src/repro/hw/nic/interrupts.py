@@ -17,10 +17,10 @@ The coalescer here is deliberately driver-visible:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Callable, Optional
 
 from ...config import NicParams
-from ...sim import Counters, Environment
+from ...sim import Counters, Environment, TimerHandle
 
 __all__ = ["InterruptCoalescer"]
 
@@ -36,8 +36,7 @@ class InterruptCoalescer:
         self.counters = Counters()
         self._pending = 0
         self._in_service = False
-        self._timer_generation = 0
-        self._timer_running = False
+        self._timer: Optional[TimerHandle] = None
 
     @property
     def pending(self) -> int:
@@ -56,7 +55,7 @@ class InterruptCoalescer:
             return
         if self._pending >= self.params.coalesce_frames:
             self._fire()
-        elif not self._timer_running:
+        elif self._timer is None:
             self._start_timer()
 
     def service_done(self, frames_still_pending: int) -> None:
@@ -79,21 +78,25 @@ class InterruptCoalescer:
 
     # -- internals --------------------------------------------------------
     def _fire(self) -> None:
-        self._timer_generation += 1  # cancels any running timer
-        self._timer_running = False
+        if self._timer is not None:  # cancels any running hold-off timer
+            self._timer.cancel()
+            self._timer = None
         self._pending = 0
         self._in_service = True
         self.counters.add("interrupts")
         self.fire_cb()
 
     def _start_timer(self) -> None:
-        self._timer_generation += 1
-        generation = self._timer_generation
-        self._timer_running = True
-        self.env.process(self._timer(generation), name=f"{self.name}.timer")
+        # One hold-off timer per coalescing round: a slotted handle that
+        # is cancelled lazily if the frame threshold fires first.
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.env.call_later(
+            self.params.coalesce_timeout_ns, self._on_timer
+        )
 
-    def _timer(self, generation: int) -> Generator:
-        yield self.env.timeout(self.params.coalesce_timeout_ns)
-        if generation == self._timer_generation and not self._in_service and self._pending:
+    def _on_timer(self) -> None:
+        self._timer = None
+        if not self._in_service and self._pending:
             self.counters.add("timer_fires")
             self._fire()

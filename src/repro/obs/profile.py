@@ -38,10 +38,18 @@ class EnvProfiler:
             self.queue_high_water = queue_depth
 
     def on_step(self, event: Any, callbacks: Iterable[Any]) -> None:
-        """Called by the loop as each event is popped and processed."""
+        """Called by the loop as each event is popped and processed.
+
+        ``callbacks`` is a list for ordinary events; for the
+        :class:`~repro.sim.TimerHandle` fast path it is the bare
+        callable itself (no per-process attribution — timers belong to
+        no process).
+        """
         self.events_processed += 1
         tname = type(event).__name__
         self.per_type[tname] = self.per_type.get(tname, 0) + 1
+        if type(callbacks) is not list:
+            return
         for cb in callbacks:
             # A process resumption is a bound ``Process._resume``; count
             # it against the process's name (duck-typed, no sim import).

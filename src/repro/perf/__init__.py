@@ -7,6 +7,8 @@
   one resilience point) and writes a versioned ``BENCH_<rev>.json``
   with simulated metrics, wall-clock timings and
   :class:`~repro.obs.EnvProfiler` tallies;
+* ``micro`` runs A/B microbenchmarks of the event-loop hot path (timer
+  processes vs ``call_later`` handles) and writes ``MICRO_<rev>.json``;
 * ``diff`` compares any two run/bench JSON documents metric-by-metric
   (see :class:`~repro.obs.RunDiff`);
 * ``check`` compares a bench document against the committed baseline
@@ -17,12 +19,15 @@
 
 from .bench import BASELINE_PATH, BENCH_SCHEMA, run_bench, write_bench
 from .check import check_bench, load_bench
+from .micro import MICRO_SCHEMA, run_micro
 
 __all__ = [
     "BASELINE_PATH",
     "BENCH_SCHEMA",
+    "MICRO_SCHEMA",
     "check_bench",
     "load_bench",
     "run_bench",
+    "run_micro",
     "write_bench",
 ]

@@ -1,7 +1,11 @@
-"""CLI entry: ``python -m repro.perf {bench,diff,check}``.
+"""CLI entry: ``python -m repro.perf {bench,micro,diff,check}``.
 
 * ``bench`` runs the pinned scenario suite and writes
-  ``BENCH_<rev>.json`` (see :mod:`repro.perf.bench`);
+  ``BENCH_<rev>.json`` (see :mod:`repro.perf.bench`); ``--jobs N`` fans
+  the scenarios out over worker processes (wall clock only — the gated
+  document is byte-identical);
+* ``micro`` runs the event-loop A/B microbenchmarks and writes
+  ``MICRO_<rev>.json`` (see :mod:`repro.perf.micro`);
 * ``diff A B`` compares two run/bench JSON documents metric-by-metric
   and exits 1 when anything moved beyond tolerance;
 * ``check [CANDIDATE]`` gates a bench document against the committed
@@ -16,19 +20,33 @@ import json
 import sys
 from typing import Optional
 
+from ..parallel import add_jobs_argument, resolve_jobs
 from .bench import BASELINE_PATH, SCENARIOS, run_bench, write_bench
 from .check import check_bench, load_bench, report
+from .micro import run_micro
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     doc = run_bench(quick=not args.full, scenarios=args.scenario or None,
-                    rev=args.rev)
+                    rev=args.rev, jobs=resolve_jobs(args.jobs))
     path = args.output or f"BENCH_{doc['rev']}.json"
     write_bench(doc, path)
     for name, scenario in sorted(doc["scenarios"].items()):
         gates = ", ".join(f"{k}={v['value']:g}"
                           for k, v in sorted(scenario["gates"].items()))
         print(f"{name}: {gates} [{scenario['wall_s']}s]")
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_micro(args: argparse.Namespace) -> int:
+    doc = run_micro(ops=args.ops, repeat=args.repeat, rev=args.rev)
+    path = args.output or f"MICRO_{doc['rev']}.json"
+    write_bench(doc, path)
+    for name, case in doc["cases"].items():
+        print(f"{name}: {case['ns_per_op']:g} ns/op [{case['wall_s']}s]")
+    speedup = doc["speedup"]["fastpath_vs_process"]
+    print(f"call_later fast path vs timer process: {speedup:g}x")
     print(f"wrote {path}")
     return 0
 
@@ -92,7 +110,21 @@ def main(argv: Optional[list] = None) -> int:
     bench.add_argument("--scenario", action="append",
                        choices=[name for name, _ in SCENARIOS],
                        help="run only this scenario (repeatable)")
+    add_jobs_argument(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    micro = sub.add_parser("micro",
+                           help="A/B microbenchmarks for the event-loop hot path")
+    micro.add_argument("--ops", type=int, default=50_000,
+                       help="timer churns per case (default 50000)")
+    micro.add_argument("--repeat", type=int, default=3,
+                       help="repeats per case; best wall time wins (default 3)")
+    micro.add_argument("-o", "--output", metavar="PATH", default=None,
+                       help="output path (default MICRO_<rev>.json)")
+    micro.add_argument("--rev", default=None,
+                       help="revision tag for the filename/document "
+                            "(default: git short rev)")
+    micro.set_defaults(func=_cmd_micro)
 
     diff = sub.add_parser("diff", help="compare two run/bench JSON documents")
     diff.add_argument("a", help="first (old) JSON document")

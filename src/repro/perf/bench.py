@@ -27,6 +27,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs import aggregate_profiles, critical_path, fig7_stage_durations, jsonable
+from ..parallel import run_tasks
 from ..sim import profiled
 
 __all__ = [
@@ -233,9 +234,29 @@ def current_rev() -> str:
         return "local"
 
 
+def _scenario_task(spec: Tuple[str, bool]) -> Tuple[str, Dict, Dict, Dict, float]:
+    """Run one scenario from a pure-data spec (module-level: pool-safe).
+
+    Wall clock is measured in the worker, so with ``jobs > 1`` each
+    scenario still reports its own cost rather than pool overhead.
+    """
+    name, quick = spec
+    runner = dict(SCENARIOS)[name]
+    t0 = time.perf_counter()
+    with profiled() as profilers:
+        gates, metrics = runner(quick)
+    wall = time.perf_counter() - t0
+    return name, gates, metrics, aggregate_profiles(profilers), wall
+
+
 def run_bench(quick: bool = True, scenarios: Optional[List[str]] = None,
-              rev: Optional[str] = None) -> Dict[str, Any]:
-    """Run the pinned suite and return the bench document (plain dict)."""
+              rev: Optional[str] = None, jobs: int = 1) -> Dict[str, Any]:
+    """Run the pinned suite and return the bench document (plain dict).
+
+    ``jobs > 1`` fans the scenarios out over a process pool; the
+    document's gates/metrics/profile sections are byte-identical to a
+    serial run (only the informational wall-clock numbers move).
+    """
     wanted = {name for name, _ in SCENARIOS} if scenarios is None else set(scenarios)
     unknown = wanted - {name for name, _ in SCENARIOS}
     if unknown:
@@ -248,16 +269,11 @@ def run_bench(quick: bool = True, scenarios: Optional[List[str]] = None,
         "python": sys.version.split()[0],
         "scenarios": {},
     }
+    specs = [(name, quick) for name, _ in SCENARIOS if name in wanted]
     total_wall = 0.0
+    wall_by_scenario: Dict[str, float] = {}
     total_events = {"events_processed": 0, "events_scheduled": 0}
-    for name, runner in SCENARIOS:
-        if name not in wanted:
-            continue
-        t0 = time.perf_counter()
-        with profiled() as profilers:
-            gates, metrics = runner(quick)
-        wall = time.perf_counter() - t0
-        profile = aggregate_profiles(profilers)
+    for name, gates, metrics, profile, wall in run_tasks(_scenario_task, specs, jobs=jobs):
         gates["events_processed"] = _gate(
             float(profile["events_processed"]), "lower", PROFILE_TOLERANCE)
         doc["scenarios"][name] = {
@@ -267,9 +283,14 @@ def run_bench(quick: bool = True, scenarios: Optional[List[str]] = None,
             "wall_s": round(wall, 3),
         }
         total_wall += wall
+        wall_by_scenario[name] = round(wall, 3)
         for key in total_events:
             total_events[key] += profile[key]
-    doc["totals"] = {"wall_s": round(total_wall, 3), **total_events}
+    doc["totals"] = {
+        "wall_s": round(total_wall, 3),
+        "wall_by_scenario": wall_by_scenario,
+        **total_events,
+    }
     return jsonable(doc)
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
-from ..sim import Counters, Environment, Event
+from ..sim import Counters, Environment, Event, TimerHandle
 
 __all__ = ["WindowedSender", "OrderedReceiver", "RtoEstimator", "DeliveryFailed"]
 
@@ -171,7 +171,7 @@ class WindowedSender:
         self._retx_seqs: Set[int] = set()  # Karn's rule: ambiguous RTTs
         self._window_waiters: List[Event] = []
         self._drained_waiters: List[Event] = []
-        self._timer_generation = 0
+        self._timer: Optional[TimerHandle] = None
         self._retries = 0
         self._failed: Optional[DeliveryFailed] = None
         #: optional congestion-control hooks (TCP wires these up):
@@ -271,7 +271,7 @@ class WindowedSender:
         if self._in_flight:
             self._start_timer()  # restart for the new oldest packet
         else:
-            self._timer_generation += 1  # cancel
+            self._cancel_timer()
             for event in self._drained_waiters:
                 event.succeed()
             self._drained_waiters.clear()
@@ -285,15 +285,22 @@ class WindowedSender:
         return self.rto.current_ns() if self.rto is not None else self.timeout_ns
 
     def _start_timer(self) -> None:
-        self._timer_generation += 1
-        self.env.process(
-            self._timer(self._timer_generation, self.current_timeout_ns()),
-            name=f"{self.name}.rto",
-        )
+        # Re-arming cancels the previous timer lazily (dead heap entry),
+        # so ack-by-ack restarts cost one handle + one push, not a
+        # process spawn (the pre-optimization shape, kept as the "A"
+        # side of ``repro.perf micro``).
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.env.call_later(self.current_timeout_ns(), self._on_rto)
 
-    def _timer(self, generation: int, delay_ns: float) -> Generator:
-        yield self.env.timeout(delay_ns)
-        if generation != self._timer_generation or not self._in_flight:
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_rto(self) -> None:
+        self._timer = None
+        if not self._in_flight:
             return
         self._retries += 1
         if self._retries > self.max_retries:
@@ -328,7 +335,7 @@ class WindowedSender:
 
     def _fail(self, reason: str) -> None:
         self._failed = DeliveryFailed(f"{self.name}: {reason}")
-        self._timer_generation += 1  # cancel any armed timer
+        self._cancel_timer()
         self.counters.add("failed")
         for event in self._window_waiters + self._drained_waiters:
             event.fail(self._failed)
@@ -370,7 +377,7 @@ class OrderedReceiver:
         self.expected = 0
         self._stash: Dict[int, Any] = {}
         self._unacked = 0
-        self._ack_timer_generation = 0
+        self._ack_timer: Optional[TimerHandle] = None
 
     def on_packet(self, seq: int, packet: Any) -> None:
         """Handle an arriving data packet with channel sequence ``seq``."""
@@ -408,17 +415,22 @@ class OrderedReceiver:
     # -- ack cadence --------------------------------------------------------
     def _emit_ack(self) -> None:
         self._unacked = 0
-        self._ack_timer_generation += 1
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
         self.counters.add("acks_sent")
         self.send_ack(self.expected)
 
     def _schedule_delayed_ack(self) -> None:
-        self._ack_timer_generation += 1
-        generation = self._ack_timer_generation
-        self.env.process(self._delayed_ack(generation), name=f"{self.name}.dack")
+        # Each sub-threshold delivery restarts the full delay (matching
+        # the historical per-packet timer process, where only the newest
+        # generation was live).
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+        self._ack_timer = self.env.call_later(self.ack_delay_ns, self._on_delayed_ack)
 
-    def _delayed_ack(self, generation: int) -> Generator:
-        yield self.env.timeout(self.ack_delay_ns)
-        if generation == self._ack_timer_generation and self._unacked:
+    def _on_delayed_ack(self) -> None:
+        self._ack_timer = None
+        if self._unacked:
             self.counters.add("delayed_acks")
             self._emit_ack()

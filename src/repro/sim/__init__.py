@@ -18,6 +18,7 @@ from .core import (
     Process,
     SimulationError,
     Timeout,
+    TimerHandle,
     profiled,
 )
 from .monitor import BusyTracker, Counters, IntervalStats, Trace, TraceRecord
@@ -51,6 +52,7 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "TimerHandle",
     "Trace",
     "TraceRecord",
     "profiled",

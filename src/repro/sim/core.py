@@ -9,7 +9,18 @@ advances virtual time from one scheduled event to the next.
 
 Time is measured in **nanoseconds** throughout the project (see
 :mod:`repro.units`).  Events scheduled for the same timestamp are processed
-in FIFO order of scheduling, which keeps every simulation bit-reproducible.
+in FIFO order of scheduling (a monotonic tie-break counter in the heap
+entries — never re-sorted), which keeps every simulation bit-reproducible.
+
+Two hot-path shortcuts keep the per-event Python cost down:
+
+* :meth:`Environment.call_later` schedules a bare callback through a
+  slotted :class:`TimerHandle` instead of the full ``Process`` +
+  ``Timeout`` machinery — the dominant shape for protocol timers that
+  are armed and cancelled far more often than they fire;
+* cancellation is *lazy*: :meth:`TimerHandle.cancel` just marks the
+  handle dead, and the loop drops the stale heap entry when it reaches
+  the top, instead of rebuilding the heap.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "TimerHandle",
     "Process",
     "Interrupt",
     "Condition",
@@ -33,6 +45,9 @@ __all__ = [
     "NORMAL",
     "profiled",
 ]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 #: Scheduling priority for events that must run before ordinary events at
 #: the same timestamp (used internally, e.g. for process resumption after
@@ -176,18 +191,64 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed delay."""
+    """An event that triggers after a fixed delay.
+
+    Construction is inlined (no ``Event.__init__``/``_schedule`` calls):
+    a ``Timeout`` is the most frequently created object in the whole
+    simulator, so it pays to assign the slots and push the heap entry
+    directly.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._seq += 1
+        _heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
+        if env.profiler is not None:
+            env.profiler.on_schedule(len(env._queue))
+
+
+class TimerHandle:
+    """A one-shot scheduled callback (see :meth:`Environment.call_later`).
+
+    The cheap alternative to a timer *process*: one slotted object, one
+    heap entry, and a bare no-argument callable stored in the
+    ``callbacks`` slot (the event loop dispatches on its type).  The
+    reliability/coalescing timers arm and cancel these constantly and
+    only rarely let them fire.
+
+    :meth:`cancel` is O(1) and lazy — the dead heap entry is discarded
+    when the loop pops it, without touching the rest of the heap.  A
+    fired or cancelled handle is never reused (pooling handles was
+    considered and rejected: a stale ``cancel()`` on a recycled handle
+    would silently kill an unrelated timer).
+    """
+
+    __slots__ = ("callbacks",)
+
+    def __init__(self, fn: Callable[[], None]):
+        self.callbacks = fn
+
+    @property
+    def active(self) -> bool:
+        """``True`` while the callback is still scheduled to run."""
+        return self.callbacks is not None
+
+    def cancel(self) -> None:
+        """Stop the callback from running (idempotent, O(1))."""
+        self.callbacks = None
+
+    def __repr__(self) -> str:
+        state = "active" if self.callbacks is not None else "dead"
+        return f"<TimerHandle {state} at {hex(id(self))}>"
 
 
 class Interrupt(Exception):
@@ -426,8 +487,18 @@ class Environment:
         return self._active_proc
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or ``inf`` if none.
+
+        Lazily prunes cancelled timer entries from the head of the heap
+        so the answer always refers to an event that will actually run.
+        """
+        queue = self._queue
+        while queue:
+            if queue[0][3].callbacks is None:
+                _heappop(queue)  # lazily-cancelled timer: drop and retry
+                continue
+            return queue[0][0]
+        return float("inf")
 
     # -- factories --------------------------------------------------------
     def event(self) -> Event:
@@ -442,6 +513,28 @@ class Environment:
         """Start a new process running ``generator``."""
         return Process(self, generator, name=name)
 
+    def call_later(
+        self, delay: float, fn: Callable[[], None], priority: int = NORMAL
+    ) -> TimerHandle:
+        """Schedule ``fn()`` to run after ``delay`` ns; returns a handle.
+
+        The fast path for one-shot timers: compared to spawning a
+        process that yields a :class:`Timeout`, this allocates one
+        slotted handle and one heap entry, and cancellation via
+        :meth:`TimerHandle.cancel` leaves the dead entry to be dropped
+        lazily by the loop.  ``fn`` takes no arguments and must not
+        raise (an exception would abort the whole simulation, exactly
+        as an undefused failure does).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        handle = TimerHandle(fn)
+        self._seq += 1
+        _heappush(self._queue, (self._now + delay, priority, self._seq, handle))
+        if self.profiler is not None:
+            self.profiler.on_schedule(len(self._queue))
+        return handle
+
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that triggers when any of ``events`` does."""
         return AnyOf(self, events)
@@ -453,24 +546,36 @@ class Environment:
     # -- scheduling & the loop ---------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        _heappush(self._queue, (self._now + delay, priority, self._seq, event))
         if self.profiler is not None:
             self.profiler.on_schedule(len(self._queue))
 
     def step(self) -> None:
-        """Process the next scheduled event (advancing the clock)."""
+        """Process the next scheduled event (advancing the clock).
+
+        A lazily-cancelled timer entry at the head of the heap is
+        dropped without running anything or advancing the clock (it is
+        no longer an event, just garbage awaiting collection).
+        """
         if not self._queue:
             raise SimulationError("no more events")
-        self._now, _, _, event = heapq.heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
+        when, _, _, event = _heappop(self._queue)
+        callbacks = event.callbacks
+        if callbacks is None:
+            return  # cancelled timer: drop the dead entry
+        self._now = when
+        event.callbacks = None
         if self.profiler is not None:
             self.profiler.on_step(event, callbacks)
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused:
-            # A failure nobody waited on: surface it loudly.
-            exc = event._value
-            raise exc
+        if type(callbacks) is list:
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                # A failure nobody waited on: surface it loudly.
+                exc = event._value
+                raise exc
+        else:
+            callbacks()  # TimerHandle fast path: a bare callable
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -494,11 +599,34 @@ class Environment:
                         f"until ({stop_at}) must not be earlier than now ({self._now})"
                     )
         try:
-            while self._queue:
-                if stop_at is not None and self._queue[0][0] > stop_at:
-                    self._now = stop_at
-                    return None
-                self.step()
+            if stop_at is None and self.profiler is None:
+                # Hot loop: ``step()`` inlined with the queue, heappop
+                # and the per-event bookkeeping bound to locals.  Event
+                # semantics are identical to ``step()`` (the ordering
+                # tests in tests/sim pin this).
+                queue = self._queue
+                pop = _heappop
+                while queue:
+                    item = pop(queue)
+                    event = item[3]
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        continue  # lazily-cancelled timer entry
+                    self._now = item[0]
+                    event.callbacks = None
+                    if type(callbacks) is list:
+                        for callback in callbacks:
+                            callback(event)
+                        if not event._ok and not event._defused:
+                            raise event._value
+                    else:
+                        callbacks()  # TimerHandle fast path
+            else:
+                while self._queue:
+                    if stop_at is not None and self._queue[0][0] > stop_at:
+                        self._now = stop_at
+                        return None
+                    self.step()
         except StopSimulation as stop:
             return stop.value
         if stop_event is not None and not stop_event.triggered:

@@ -4,15 +4,18 @@ The paper plots bandwidth against message size from 10^1 to 10^7 bytes
 on a log axis.  :func:`netpipe_sizes` generates that grid;
 :func:`bandwidth_sweep` runs a fresh cluster per point (fresh state, no
 warm caches carrying over — and each point's simulation is independent
-and reproducible).
+and reproducible).  Because every point is independent, the sweep fans
+out over a process pool with ``jobs > 1`` (see :mod:`repro.parallel`)
+and still returns the exact series a serial run would.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from ..cluster import Cluster
 from ..config import ClusterConfig
+from ..parallel import run_tasks
 from .pingpong import PingPongResult, pingpong
 
 __all__ = ["netpipe_sizes", "bandwidth_sweep", "SweepSeries"]
@@ -40,11 +43,31 @@ def netpipe_sizes(
 
 
 class SweepSeries:
-    """One labeled bandwidth-vs-size curve."""
+    """One labeled bandwidth-vs-size curve.
 
-    def __init__(self, label: str):
+    Iterable and sized (``for point in series`` / ``len(series)``), with
+    O(1) size lookup via :meth:`at` — analysis code should use these
+    rather than reaching into ``points``.
+    """
+
+    def __init__(self, label: str, points: Optional[Sequence[PingPongResult]] = None):
         self.label = label
         self.points: List[PingPongResult] = []
+        self._by_size: Dict[int, PingPongResult] = {}
+        for point in points or ():
+            self.add(point)
+
+    def add(self, point: PingPongResult) -> PingPongResult:
+        """Append one measured point (keeps the size index current)."""
+        self.points.append(point)
+        self._by_size[point.nbytes] = point
+        return point
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[PingPongResult]:
+        return iter(self.points)
 
     @property
     def sizes(self) -> List[int]:
@@ -56,10 +79,14 @@ class SweepSeries:
 
     def at(self, nbytes: int) -> PingPongResult:
         """The measured point for an exact size (KeyError if absent)."""
-        for p in self.points:
-            if p.nbytes == nbytes:
-                return p
-        raise KeyError(f"no point at {nbytes} B in {self.label}")
+        if len(self._by_size) != len(self.points):
+            # Someone appended to ``points`` directly (legacy callers):
+            # rebuild the index before trusting it.
+            self._by_size = {p.nbytes: p for p in self.points}
+        try:
+            return self._by_size[nbytes]
+        except KeyError:
+            raise KeyError(f"no point at {nbytes} B in {self.label}") from None
 
     def asymptote(self) -> float:
         """Bandwidth at the largest measured size."""
@@ -79,18 +106,33 @@ class SweepSeries:
         return {"label": self.label, "points": [p.as_dict() for p in self.points]}
 
 
+def _sweep_point(spec) -> PingPongResult:
+    """One sweep point from a pure-data spec (module-level: pool-safe)."""
+    cluster_spec, setup_factory, nbytes, repeats, warmup = spec
+    if isinstance(cluster_spec, ClusterConfig):
+        cluster = Cluster(cluster_spec)
+    else:
+        cluster = cluster_spec()
+    return pingpong(cluster, setup_factory(), nbytes, repeats=repeats, warmup=warmup)
+
+
 def bandwidth_sweep(
     label: str,
-    make_cluster: Callable[[], Cluster],
+    cluster_spec: Union[ClusterConfig, Callable[[], Cluster]],
     setup_factory: Callable[[], Callable],
     sizes: Sequence[int],
     repeats: int = 2,
     warmup: int = 1,
+    jobs: int = 1,
 ) -> SweepSeries:
-    """Measure a bandwidth curve: one fresh cluster + ping-pong per size."""
-    series = SweepSeries(label)
-    for nbytes in sizes:
-        cluster = make_cluster()
-        result = pingpong(cluster, setup_factory(), nbytes, repeats=repeats, warmup=warmup)
-        series.points.append(result)
-    return series
+    """Measure a bandwidth curve: one fresh cluster + ping-pong per size.
+
+    ``cluster_spec`` is preferably a :class:`~repro.config.ClusterConfig`
+    (pure data — each point rebuilds ``Cluster(cfg)`` wherever it runs);
+    a zero-argument cluster factory is also accepted, but with
+    ``jobs > 1`` it must then be a picklable module-level callable.
+    Points fan out over a process pool and come back in size order, so
+    the series is identical at any ``jobs`` value.
+    """
+    specs = [(cluster_spec, setup_factory, nbytes, repeats, warmup) for nbytes in sizes]
+    return SweepSeries(label, run_tasks(_sweep_point, specs, jobs=jobs))

@@ -1,0 +1,25 @@
+"""``--jobs N`` must not change what the battery measures.
+
+Runs a two-experiment battery through the real CLI twice — serial and
+``--jobs 2`` — and requires the JSON artifacts to be byte-identical,
+*including* the aggregated profiler tallies (worker-side snapshots are
+folded back into the parent sink).
+"""
+
+import json
+
+from repro.experiments.registry import main
+
+
+def _battery(tmp_path, tag, extra):
+    path = tmp_path / f"batch-{tag}.json"
+    assert main(["fig7", "comparison", *extra, "--json", str(path)]) == 0
+    return json.loads(path.read_text())
+
+
+def test_battery_jobs2_byte_identical(tmp_path, capsys):
+    serial = _battery(tmp_path, "serial", [])
+    parallel = _battery(tmp_path, "jobs2", ["--jobs", "2"])
+    capsys.readouterr()  # drop the printed reports
+    assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+    assert [run["experiment"] for run in parallel["runs"]] == ["fig7", "comparison"]

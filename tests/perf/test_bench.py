@@ -58,6 +58,21 @@ def test_bench_is_deterministic(fig7_doc):
     assert again["scenarios"]["fig7"]["profile"] == fig7_doc["scenarios"]["fig7"]["profile"]
 
 
+def test_bench_jobs2_matches_serial(fig7_doc):
+    """Fanning scenarios over a pool moves only the wall clock: gates,
+    metrics and profiler tallies stay byte-identical."""
+    pooled = run_bench(quick=True, scenarios=["fig7"], rev="test", jobs=2)
+    for key in ("gates", "metrics", "profile"):
+        assert pooled["scenarios"]["fig7"][key] == fig7_doc["scenarios"]["fig7"][key]
+
+
+def test_totals_record_per_scenario_wall(fig7_doc):
+    walls = fig7_doc["totals"]["wall_by_scenario"]
+    assert set(walls) == {"fig7"}
+    assert walls["fig7"] == fig7_doc["scenarios"]["fig7"]["wall_s"]
+    assert fig7_doc["totals"]["wall_s"] >= walls["fig7"]
+
+
 def test_write_bench_stable_json(fig7_doc, tmp_path):
     a, b = tmp_path / "a.json", tmp_path / "b.json"
     write_bench(fig7_doc, str(a))

@@ -1,0 +1,113 @@
+"""Event-loop ordering invariants the protocol stack leans on.
+
+The reliability timers and the NIC coalescer assume: same-timestamp
+events run in scheduling (FIFO) order, URGENT beats NORMAL at equal
+timestamps, and a cancelled :class:`~repro.sim.TimerHandle` never fires
+— its dead heap entry is dropped without advancing the clock.
+"""
+
+import pytest
+
+from repro.sim import Environment, Process, Timeout
+from repro.sim.core import NORMAL, URGENT
+
+
+def test_same_timestamp_fifo():
+    env = Environment()
+    order = []
+    for i in range(5):
+        env.call_later(100, lambda i=i: order.append(i))
+    env.run()
+    assert order == list(range(5))
+    assert env.now == 100
+
+
+def test_urgent_before_normal_at_same_time():
+    env = Environment()
+    order = []
+    env.call_later(100, lambda: order.append("normal"), priority=NORMAL)
+    env.call_later(100, lambda: order.append("urgent"), priority=URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_cancelled_timer_never_fires():
+    env = Environment()
+    fired = []
+    handle = env.call_later(50, lambda: fired.append("dead"))
+    env.call_later(100, lambda: fired.append("alive"))
+    assert handle.active
+    handle.cancel()
+    assert not handle.active
+    env.run()
+    assert fired == ["alive"]
+
+
+def test_cancel_and_rearm_only_last_fires():
+    """The retransmission-timer pattern: every re-arm cancels the old
+    handle; exactly one (the last) may fire."""
+    env = Environment()
+    fired = []
+
+    def driver():
+        handle = None
+        for i in range(10):
+            if handle is not None:
+                handle.cancel()
+            handle = env.call_later(1_000, lambda i=i: fired.append(i))
+            yield Timeout(env, 10)
+
+    Process(env, driver())
+    env.run()
+    assert fired == [9]
+
+
+def test_peek_skips_cancelled_head():
+    env = Environment()
+    dead = env.call_later(10, lambda: None)
+    env.call_later(30, lambda: None)
+    dead.cancel()
+    assert env.peek() == 30
+
+
+def test_dropping_dead_entries_does_not_advance_clock():
+    env = Environment()
+    seen = []
+    dead = env.call_later(10, lambda: None)
+    env.call_later(30, lambda: seen.append(env.now))
+    dead.cancel()
+    env.step()  # pops the dead entry only
+    assert env.now == 0
+    env.step()
+    assert seen == [30] and env.now == 30
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError, match="negative delay"):
+        env.call_later(-1, lambda: None)
+
+
+def test_interleaved_run_is_deterministic():
+    """Processes and timers interleaved at equal timestamps replay
+    identically, with ties resolved by scheduling order."""
+
+    def trace():
+        env = Environment()
+        log = []
+
+        def proc(tag, delay):
+            for _ in range(3):
+                yield Timeout(env, delay)
+                log.append((env.now, tag))
+
+        Process(env, proc("a", 10))
+        Process(env, proc("b", 10))
+        env.call_later(15, lambda: log.append((env.now, "timer")))
+        env.run()
+        return log
+
+    first = trace()
+    assert first == trace()
+    assert first[0] == (10, "a") and first[1] == (10, "b")
+    assert (15, "timer") in first

@@ -1,0 +1,82 @@
+"""Tests for the deterministic fan-out engine (:mod:`repro.parallel`).
+
+Workers must be module-level functions: with ``jobs > 1`` the pool
+pickles them by reference into fresh interpreters.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import aggregate_profiles
+from repro.parallel import resolve_jobs, run_tasks, run_tasks_profiled
+from repro.sim import Environment, Process, Timeout, profiled
+
+
+def _square(n):
+    return n * n
+
+
+def _maybe_fail(n):
+    if n == 3:
+        raise ValueError(f"bad spec {n}")
+    return n
+
+
+def _sim_chain(n):
+    """A tiny simulation — ``n`` timeouts; returns the final clock."""
+    env = Environment()
+
+    def chain():
+        for _ in range(n):
+            yield Timeout(env, 10)
+
+    Process(env, chain())
+    env.run()
+    return env.now
+
+
+def test_results_in_submission_order_parallel():
+    specs = list(range(12))
+    assert run_tasks(_square, specs, jobs=2) == [n * n for n in specs]
+
+
+def test_serial_and_parallel_agree():
+    specs = [5, 17, 40]
+    assert run_tasks(_sim_chain, specs, jobs=1) == run_tasks(_sim_chain, specs, jobs=2)
+
+
+def test_worker_exception_propagates():
+    with pytest.raises(ValueError, match="bad spec 3"):
+        run_tasks(_maybe_fail, [1, 2, 3, 4], jobs=1)
+    with pytest.raises(ValueError, match="bad spec 3"):
+        run_tasks(_maybe_fail, [1, 2, 3, 4], jobs=2)
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(None) == (os.cpu_count() or 1)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    with pytest.raises(ValueError, match="jobs must be"):
+        resolve_jobs(-2)
+
+
+def test_profile_sink_sees_worker_environments():
+    """An ambient profiled() block aggregates identically at any jobs
+    value: worker-side snapshots flow back into the parent's sink."""
+    specs = [10, 20]
+    with profiled() as serial_profs:
+        run_tasks(_sim_chain, specs, jobs=1)
+    with profiled() as parallel_profs:
+        run_tasks(_sim_chain, specs, jobs=2)
+    assert aggregate_profiles(serial_profs) == aggregate_profiles(parallel_profs)
+
+
+def test_run_tasks_profiled_matches_serial():
+    specs = [10, 20]
+    serial = run_tasks_profiled(_sim_chain, specs, jobs=1)
+    parallel = run_tasks_profiled(_sim_chain, specs, jobs=2)
+    assert serial == parallel
+    for _result, profile in parallel:
+        assert profile["events_processed"] > 0

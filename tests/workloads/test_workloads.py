@@ -71,3 +71,34 @@ def test_sweep_series_helpers():
     assert half in series.sizes
     # Monotone rising curve for these sizes.
     assert series.mbps == sorted(series.mbps)
+
+
+def test_sweep_series_is_a_sequence():
+    from repro.workloads.pingpong import PingPongResult
+
+    series = SweepSeries("s")
+    assert len(series) == 0 and list(series) == []
+    a = PingPongResult(nbytes=100, repeats=1, rtt_ns=10_000)
+    b = PingPongResult(nbytes=200, repeats=1, rtt_ns=12_000)
+    series.add(a)
+    series.add(b)
+    assert len(series) == 2
+    assert list(series) == [a, b]
+    assert series.at(200) is b
+    # Direct appends to ``points`` (legacy callers) are indexed lazily.
+    c = PingPongResult(nbytes=300, repeats=1, rtt_ns=14_000)
+    series.points.append(c)
+    assert series.at(300) is c
+    assert len(series) == 3
+
+
+def test_bandwidth_sweep_parallel_matches_serial():
+    """A config-based sweep is pure data, so a pooled run must return
+    the exact series a serial run does."""
+    sizes = [100, 10_000]
+    serial = bandwidth_sweep("clic", granada2003(), clic_pair, sizes,
+                             repeats=1, warmup=0)
+    pooled = bandwidth_sweep("clic", granada2003(), clic_pair, sizes,
+                             repeats=1, warmup=0, jobs=2)
+    assert [p.rtt_ns for p in serial] == [p.rtt_ns for p in pooled]
+    assert serial.mbps == pooled.mbps
