@@ -103,6 +103,11 @@ class Cluster:
         self.metrics = MetricsRegistry()
         self.switch = Switch(self.env, self.cfg.link)
         self.nodes: List[Node] = []
+        #: every simplex wire in build order, as ``(name, Channel)`` with
+        #: names ``"{node_id}.{ch}.up"`` (node -> switch) and ``...down``
+        #: (switch -> node) — the invariant harness walks this to check
+        #: frame conservation across the wire layer.
+        self.channels: List[Tuple[str, Channel]] = []
 
         if faults is not None and loss_rate:
             raise ValueError("give either loss_rate or a FaultPlan, not both")
@@ -137,6 +142,8 @@ class Cluster:
                 to_switch.connect(self.switch.ingress(port))
                 from_switch.connect(nic.receive_frame)
                 nic.attach_tx(to_switch)
+                self.channels.append((f"{node_id}.{ch}.up", to_switch))
+                self.channels.append((f"{node_id}.{ch}.down", from_switch))
                 self._install_blackouts(port, node_id, ch)
 
         self._attach_protocols()

@@ -30,7 +30,7 @@ from ...hw.cpu import PRIO_KERNEL, PRIO_SOFTIRQ
 from ...hw.nic import BROADCAST, EtherType, MacAddress
 from ...oskernel import SkBuff
 from ...sim import Counters, Environment, Event, Store
-from ..headers import ClicAck, ClicPacket, ClicPacketType
+from ..headers import ClicAck, ClicPacket, ClicPacketType, fragment_plan
 from ..reliability import OrderedReceiver, RtoEstimator, WindowedSender
 
 __all__ = ["ClicModule", "ClicMessage", "RemoteRegion"]
@@ -257,9 +257,7 @@ class ClicModule:
         if remote_write:
             ptype = ClicPacketType.REMOTE_WRITE
         frag_max = self.max_fragment()
-        offset = 0
-        while True:
-            frag = min(frag_max, nbytes - offset)
+        for offset, frag in fragment_plan(nbytes, frag_max):
             yield from sender.reserve()
             pkt = ClicPacket(
                 ptype=ptype,
@@ -276,9 +274,6 @@ class ClicModule:
             )
             pkt.seq = sender.register(pkt)
             yield from self._tx_packet(pkt)
-            offset += frag
-            if offset >= nbytes:
-                break
         self.counters.add("msgs_sent")
         self.counters.add("bytes_sent", nbytes)
         span.end()
@@ -295,9 +290,7 @@ class ClicModule:
         """Ethernet data-link broadcast (unreliable, §5)."""
         msg_id = next(self._msg_ids)
         frag_max = self.max_fragment()
-        offset = 0
-        while True:
-            frag = min(frag_max, nbytes - offset)
+        for offset, frag in fragment_plan(nbytes, frag_max):
             pkt = ClicPacket(
                 ptype=ClicPacketType.BCAST,
                 src_node=self.node_id,
@@ -312,9 +305,6 @@ class ClicModule:
                 payload=payload,
             )
             yield from self._tx_packet(pkt, dst_mac=BROADCAST)
-            offset += frag
-            if offset >= nbytes:
-                break
         self.counters.add("bcasts_sent")
         return msg_id
 

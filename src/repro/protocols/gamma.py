@@ -30,7 +30,7 @@ from ..hw.cpu import PRIO_IRQ, PRIO_KERNEL
 from ..hw.nic import EtherType, RxFrame, TxDescriptor
 from ..oskernel import SkBuff, UserProcess
 from ..sim import Counters, Event
-from .headers import GammaPacket
+from .headers import GammaPacket, fragment_plan
 
 __all__ = ["GammaLayer", "GammaPort", "GammaMessage"]
 
@@ -99,10 +99,8 @@ class GammaLayer:
         def body() -> Generator:
             msg_id = next(_msg_ids)
             frag_max = self.max_fragment()
-            offset = 0
             nic = self.node.nics[0]
-            while True:
-                frag = min(frag_max, nbytes - offset)
+            for offset, frag in fragment_plan(nbytes, frag_max):
                 yield from self.kernel.cpu.execute(
                     self.params.port_tx_ns, PRIO_KERNEL, label="gamma_tx"
                 )
@@ -124,9 +122,6 @@ class GammaLayer:
                     from_user_memory=True,
                 )
                 yield nic.post_tx(desc)  # blocking on ring space
-                offset += frag
-                if offset >= nbytes:
-                    break
             self.counters.add("msgs_sent")
             self.counters.add("bytes_sent", nbytes)
             return msg_id

@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, Iterator, Optional, Tuple
 
 __all__ = [
     "ClicPacketType",
@@ -29,9 +29,33 @@ __all__ = [
     "TcpSegment",
     "GammaPacket",
     "ViaPacket",
+    "fragment_plan",
 ]
 
 _packet_ids = itertools.count(1)
+
+
+def fragment_plan(nbytes: int, frag_max: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(frag_offset, frag_bytes)`` for one ``nbytes`` message.
+
+    The single source of truth for software fragmentation: every
+    protocol module (CLIC send/broadcast, GAMMA, VIA) splits messages
+    with this plan.  Fragments are contiguous, in offset order, each at
+    most ``frag_max`` user bytes; a zero-byte message still yields one
+    (empty) fragment so that "a message" is never zero packets on the
+    wire.
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative message size (got {nbytes!r})")
+    if frag_max <= 0:
+        raise ValueError(f"fragment capacity must be positive (got {frag_max!r})")
+    offset = 0
+    while True:
+        frag = min(frag_max, nbytes - offset)
+        yield offset, frag
+        offset += frag
+        if offset >= nbytes:
+            return
 
 
 class ClicPacketType(Enum):

@@ -26,16 +26,88 @@ ack (CPU, PCI, wire) is charged through the normal send path.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..sim import Counters, Environment, Event, TimerHandle
 
-__all__ = ["WindowedSender", "OrderedReceiver", "RtoEstimator", "DeliveryFailed"]
+__all__ = [
+    "WindowedSender",
+    "OrderedReceiver",
+    "RtoEstimator",
+    "DeliveryFailed",
+    "ChannelProbe",
+    "install_channel_probe",
+]
 
 
 class DeliveryFailed(Exception):
     """Raised when a packet exhausts its retransmission budget (or the
     peer is declared dead by the aliveness machinery)."""
+
+
+class ChannelProbe:
+    """Observer interface over reliability-channel events.
+
+    The invariant harness (:mod:`repro.validate`) subscribes to the raw
+    event stream of every sender/receiver pair — registrations, applied
+    cumulative acks, RTT samples, retransmissions, timeouts, failures,
+    deliveries — and asserts protocol invariants over it after the run
+    (Karn's rule, ack monotonicity, exactly-once in-order delivery).
+
+    Every method is a no-op; subclass and override what you need.  A
+    probe observes only: it must not mutate the channel state or the
+    simulation (the same run with and without a probe is bit-identical).
+    """
+
+    def on_sender(self, sender: "WindowedSender") -> None:
+        """A new sender channel was built."""
+
+    def on_receiver(self, receiver: "OrderedReceiver") -> None:
+        """A new receiver channel was built."""
+
+    def on_register(self, sender: "WindowedSender", seq: int) -> None:
+        """``seq`` entered the network for the first time."""
+
+    def on_ack_applied(self, sender: "WindowedSender", base_before: int, cum: int) -> None:
+        """A cumulative ack advanced the window base."""
+
+    def on_rtt_sample(self, sender: "WindowedSender", seq: int, rtt_ns: float) -> None:
+        """The RTO estimator consumed an RTT measurement from ``seq``."""
+
+    def on_retransmit(self, sender: "WindowedSender", seqs: List[int], kind: str) -> None:
+        """``seqs`` were re-emitted (``kind``: ``"rto"`` or ``"fast"``)."""
+
+    def on_timeout(self, sender: "WindowedSender", rto_before_ns: float,
+                   rto_after_ns: float) -> None:
+        """A retransmission timer fired (RTO before/after backoff)."""
+
+    def on_fail(self, sender: "WindowedSender", reason: str) -> None:
+        """The channel was declared dead."""
+
+    def on_deliver(self, receiver: "OrderedReceiver", seq: int) -> None:
+        """``seq`` was handed to the application, in order."""
+
+    def on_ack_emitted(self, receiver: "OrderedReceiver", cum: int) -> None:
+        """The receiver emitted a cumulative ack for everything < ``cum``."""
+
+
+#: process-global probe picked up by channels at construction (the
+#: senders/receivers of a cluster are built lazily deep inside the
+#: protocol engines, so a validation harness installs the probe before
+#: traffic starts and every channel born afterwards reports to it).
+_active_probe: Optional[ChannelProbe] = None
+
+
+def install_channel_probe(probe: Optional[ChannelProbe]) -> Optional[ChannelProbe]:
+    """Install (or, with ``None``, remove) the global channel probe.
+
+    Returns the previously installed probe so callers can restore it;
+    use ``try/finally`` — a leaked probe would observe unrelated runs.
+    """
+    global _active_probe
+    previous = _active_probe
+    _active_probe = probe
+    return previous
 
 
 class RtoEstimator:
@@ -163,6 +235,8 @@ class WindowedSender:
         self.rto = rto
         self.counters = counters if counters is not None else Counters()
         self.fail_listener = fail_listener
+        #: captured at construction (see :func:`install_channel_probe`)
+        self.probe = _active_probe
 
         self.next_seq = 0
         self.base = 0  # lowest unacked seq
@@ -183,6 +257,8 @@ class WindowedSender:
         #: duplicate cumulative acks before fast retransmit (0 = off)
         self.dupack_threshold = 0
         self._dupacks = 0
+        if self.probe is not None:
+            self.probe.on_sender(self)
 
     # -- producer side ---------------------------------------------------
     @property
@@ -217,6 +293,8 @@ class WindowedSender:
         self._in_flight[seq] = packet
         self._sent_at[seq] = self.env.now
         self.counters.add("registered")
+        if self.probe is not None:
+            self.probe.on_register(self, seq)
         if len(self._in_flight) == 1:
             self._start_timer()
         return seq
@@ -244,15 +322,19 @@ class WindowedSender:
                 self._dupacks = 0
                 if self.base in self._in_flight:
                     self.counters.add("fast_retransmits")
-                    self._retx_seqs.add(self.base)  # Karn: RTT now ambiguous
+                    self._note_retransmitted([self.base])  # Karn: RTT now ambiguous
                     if self.fast_retransmit_listener is not None:
                         self.fast_retransmit_listener()
+                    if self.probe is not None:
+                        self.probe.on_retransmit(self, [self.base], "fast")
                     self._start_timer()
                     self.retransmit([self._in_flight[self.base]])
             return
+        base_before = self.base
         acked = cumulative_seq - self.base
         self._dupacks = 0
         rtt_sample_sent_at: Optional[float] = None
+        rtt_sample_seq: Optional[int] = None
         for seq in range(self.base, cumulative_seq):
             self._in_flight.pop(seq, None)
             sent_at = self._sent_at.pop(seq, None)
@@ -260,10 +342,17 @@ class WindowedSender:
                 self._retx_seqs.discard(seq)  # Karn's rule: never sample these
             elif sent_at is not None:
                 rtt_sample_sent_at = sent_at  # newest unambiguous packet wins
+                rtt_sample_seq = seq
         if self.rto is not None and rtt_sample_sent_at is not None:
             self.rto.sample(self.env.now - rtt_sample_sent_at)
             self.counters.set("rto_ns", self.rto.current_ns())
+            if self.probe is not None:
+                self.probe.on_rtt_sample(
+                    self, rtt_sample_seq, self.env.now - rtt_sample_sent_at
+                )
         self.base = cumulative_seq
+        if self.probe is not None:
+            self.probe.on_ack_applied(self, base_before, cumulative_seq)
         self._retries = 0
         if self.ack_listener is not None:
             self.ack_listener(acked)
@@ -283,6 +372,15 @@ class WindowedSender:
     def current_timeout_ns(self) -> float:
         """The retransmission timeout that would be armed right now."""
         return self.rto.current_ns() if self.rto is not None else self.timeout_ns
+
+    def _note_retransmitted(self, seqs: Iterable[int]) -> None:
+        """Karn bookkeeping: mark ``seqs`` as RTT-ambiguous.
+
+        Kept as a dedicated seam so the invariant harness can mutate it
+        (disable it) and prove the fuzzer catches the resulting Karn's
+        rule violation — see ``tests/validate``.
+        """
+        self._retx_seqs.update(seqs)
 
     def _start_timer(self) -> None:
         # Re-arming cancels the previous timer lazily (dead heap entry),
@@ -310,13 +408,19 @@ class WindowedSender:
             )
             return
         self.counters.add("timeouts")
+        rto_before = self.current_timeout_ns()
         if self.rto is not None:
             self.rto.on_timeout()
             self.counters.set("rto_ns", self.rto.current_ns())
+        if self.probe is not None:
+            self.probe.on_timeout(self, rto_before, self.current_timeout_ns())
         if self.timeout_listener is not None:
             self.timeout_listener()
-        packets = [self._in_flight[s] for s in sorted(self._in_flight)]
-        self._retx_seqs.update(self._in_flight)  # Karn: all resent, all ambiguous
+        seqs = sorted(self._in_flight)
+        packets = [self._in_flight[s] for s in seqs]
+        self._note_retransmitted(seqs)  # Karn: all resent, all ambiguous
+        if self.probe is not None:
+            self.probe.on_retransmit(self, seqs, "rto")
         self.counters.add("retransmitted", len(packets))
         self._start_timer()
         self.retransmit(packets)
@@ -337,6 +441,8 @@ class WindowedSender:
         self._failed = DeliveryFailed(f"{self.name}: {reason}")
         self._cancel_timer()
         self.counters.add("failed")
+        if self.probe is not None:
+            self.probe.on_fail(self, reason)
         for event in self._window_waiters + self._drained_waiters:
             event.fail(self._failed)
         self._window_waiters.clear()
@@ -373,11 +479,23 @@ class OrderedReceiver:
         self.stash_limit = stash_limit
         self.name = name
         self.counters = counters if counters is not None else Counters()
+        #: captured at construction (see :func:`install_channel_probe`)
+        self.probe = _active_probe
+        if self.probe is not None:
+            self.probe.on_receiver(self)
 
         self.expected = 0
         self._stash: Dict[int, Any] = {}
         self._unacked = 0
         self._ack_timer: Optional[TimerHandle] = None
+
+    def _deliver_next(self, packet: Any) -> None:
+        """Hand the next in-order packet up and advance ``expected``."""
+        if self.probe is not None:
+            self.probe.on_deliver(self, self.expected)
+        self.deliver(packet)
+        self.expected += 1
+        self._unacked += 1
 
     def on_packet(self, seq: int, packet: Any) -> None:
         """Handle an arriving data packet with channel sequence ``seq``."""
@@ -388,14 +506,10 @@ class OrderedReceiver:
             self._emit_ack()
             return
         if seq == self.expected:
-            self.deliver(packet)
-            self.expected += 1
-            self._unacked += 1
+            self._deliver_next(packet)
             # Drain any stashed successors.
             while self.expected in self._stash:
-                self.deliver(self._stash.pop(self.expected))
-                self.expected += 1
-                self._unacked += 1
+                self._deliver_next(self._stash.pop(self.expected))
             self.counters.add("delivered_in_order")
             if self._unacked >= self.ack_every:
                 self._emit_ack()
@@ -419,6 +533,8 @@ class OrderedReceiver:
             self._ack_timer.cancel()
             self._ack_timer = None
         self.counters.add("acks_sent")
+        if self.probe is not None:
+            self.probe.on_ack_emitted(self, self.expected)
         self.send_ack(self.expected)
 
     def _schedule_delayed_ack(self) -> None:

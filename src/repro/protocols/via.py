@@ -25,7 +25,7 @@ from ..config import ViaParams
 from ..hw.cpu import PRIO_USER
 from ..hw.nic import EtherType, RxFrame, TxDescriptor
 from ..sim import Counters
-from .headers import ViaPacket
+from .headers import ViaPacket, fragment_plan
 
 __all__ = ["ViaNic", "VirtualInterface", "ViaMessage"]
 
@@ -67,9 +67,7 @@ class VirtualInterface:
         msg_id = next(_msg_ids)
         frag_max = node.mtu() - params.header_bytes
         nic = node.nics[0]
-        offset = 0
-        while True:
-            frag = min(frag_max, nbytes - offset)
+        for offset, frag in fragment_plan(nbytes, frag_max):
             yield from node.cpu.execute(params.descriptor_ns, PRIO_USER, label="via_desc")
             # Doorbell: an uncached write across PCI.
             yield from node.pci.pio(priority=0, label="via_doorbell")
@@ -92,9 +90,6 @@ class VirtualInterface:
                 from_user_memory=True,
             )
             yield nic.post_tx(desc)
-            offset += frag
-            if offset >= nbytes:
-                break
         self.via.counters.add("msgs_sent")
         return msg_id
 

@@ -1,0 +1,36 @@
+"""``repro.validate`` — the protocol invariant harness.
+
+FoundationDB-style simulation fuzzing for the CLIC reproduction: a
+seeded generator composes random fault plans x traffic patterns x
+config axes into pure-data :class:`Scenario` specs; each runs in a
+fully instrumented cluster whose reliability channels report to a
+:class:`ProbeRecorder`; the :mod:`invariant catalog
+<repro.validate.invariants>` then judges the run.  Failing scenarios
+are :mod:`shrunk <repro.validate.shrink>` to minimal reproducers and
+written as ``REPLAY_<seed>.json`` artifacts that re-run bit-identically
+(``python -m repro.validate replay``).
+
+CLI::
+
+    python -m repro.validate fuzz --budget 25 --seed 7 --jobs 2
+    python -m repro.validate replay REPLAY_7.json
+"""
+
+from .invariants import INVARIANTS, Violation, check_run
+from .probes import ProbeRecorder
+from .runner import execute, run_scenario
+from .scenario import Message, Scenario, generate_scenario
+from .shrink import shrink
+
+__all__ = [
+    "INVARIANTS",
+    "Message",
+    "ProbeRecorder",
+    "Scenario",
+    "Violation",
+    "check_run",
+    "execute",
+    "generate_scenario",
+    "run_scenario",
+    "shrink",
+]

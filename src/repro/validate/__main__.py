@@ -1,0 +1,123 @@
+"""CLI: ``python -m repro.validate {fuzz,replay}``.
+
+``fuzz`` runs a seeded campaign of generated scenarios (fanned out via
+:mod:`repro.parallel`), shrinks every failure to a minimal reproducer,
+and writes one ``REPLAY_<seed>_<index>.json`` artifact per failing
+scenario.  ``replay`` re-runs such an artifact and verifies the
+recorded violations reproduce bit-identically.  Exit status is 0 only
+for a clean campaign / an exact reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from ..parallel import run_tasks
+from .invariants import Violation
+from .runner import run_scenario
+from .scenario import SCHEMA, Scenario, generate_scenario
+from .shrink import shrink
+
+__all__ = ["main"]
+
+
+def _run_violations(scenario: Scenario) -> List[Violation]:
+    report = run_scenario(scenario.to_dict())
+    return [Violation.from_dict(v) for v in report["violations"]]
+
+
+def _fuzz(args: argparse.Namespace) -> int:
+    specs = [generate_scenario(args.seed, i).to_dict() for i in range(args.budget)]
+    reports = run_tasks(run_scenario, specs, jobs=args.jobs)
+    failures = [(i, r) for i, r in enumerate(reports) if r["violations"]]
+    frames = sum(r["stats"]["frames_offered"] for r in reports)
+    lost = sum(r["stats"]["frames_lost"] for r in reports)
+    print(
+        f"fuzz: {args.budget} scenarios, seed {args.seed} — "
+        f"{len(failures)} failing, {frames:.0f} frames offered ({lost:.0f} lost)"
+    )
+    if not failures:
+        return 0
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for index, report in failures:
+        scenario = Scenario.from_dict(report["scenario"])
+        violations = [Violation.from_dict(v) for v in report["violations"]]
+        for v in violations:
+            print(f"  [{index}] {v.invariant} @ {v.subject}: {v.detail}")
+        if args.shrink:
+            result = shrink(scenario, violations, _run_violations)
+            scenario, violations = result.scenario, result.violations
+            print(
+                f"  [{index}] shrunk to {len(scenario.messages)} message(s) "
+                f"in {result.runs} runs"
+            )
+        artifact = {
+            "schema": SCHEMA,
+            "master_seed": args.seed,
+            "index": index,
+            "scenario": scenario.to_dict(),
+            "violations": [v.to_dict() for v in violations],
+        }
+        path = out_dir / f"REPLAY_{args.seed}_{index}.json"
+        path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+        print(f"  [{index}] wrote {path}")
+    return 1
+
+
+def _replay(args: argparse.Namespace) -> int:
+    artifact = json.loads(Path(args.artifact).read_text())
+    if artifact.get("schema") != SCHEMA:
+        print(f"replay: unsupported schema {artifact.get('schema')!r}", file=sys.stderr)
+        return 2
+    report = run_scenario(artifact["scenario"])
+    expected = artifact["violations"]
+    got = report["violations"]
+    if got == expected:
+        print(
+            f"replay: reproduced {len(got)} violation(s) bit-identically "
+            f"(seed {artifact.get('master_seed')}, index {artifact.get('index')})"
+        )
+        for v in got:
+            print(f"  {v['invariant']} @ {v['subject']}: {v['detail']}")
+        return 0
+    print("replay: MISMATCH — the artifact did not reproduce")
+    print(f"  expected: {json.dumps(expected, indent=2)}")
+    print(f"  got:      {json.dumps(got, indent=2)}")
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validate",
+        description="protocol invariant harness: seeded fuzzing and replay",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="run a seeded fuzz campaign")
+    fuzz.add_argument("--budget", type=int, default=25,
+                      help="number of scenarios to generate (default 25)")
+    fuzz.add_argument("--seed", type=int, default=7, help="campaign master seed")
+    fuzz.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (0 = all cores)")
+    fuzz.add_argument("--out", default=".",
+                      help="directory for REPLAY_*.json artifacts")
+    fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
+                      help="write failing scenarios unshrunk")
+    fuzz.set_defaults(func=_fuzz)
+
+    replay = sub.add_parser("replay", help="re-run a REPLAY_*.json artifact")
+    replay.add_argument("artifact", help="path to the artifact")
+    replay.set_defaults(func=_replay)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

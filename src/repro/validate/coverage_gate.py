@@ -1,0 +1,95 @@
+"""Coverage floor enforcement over a Cobertura XML report.
+
+CI runs the test suite under ``pytest --cov=repro --cov-report=xml``
+and then ``python -m repro.validate.coverage_gate coverage.xml``.  The
+gate recomputes line coverage from the per-line hit counts (robust
+against producers that round the summary ``line-rate`` attribute) and
+fails the build when either floor is violated:
+
+* **total**: line coverage of everything measured (default 70%);
+* **validate**: line coverage of the ``repro/validate`` package itself
+  (default 90%) — the invariant harness must not be the least-tested
+  code in the repository.
+
+Pure stdlib (``xml.etree``), so the gate itself needs no coverage
+tooling installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, Tuple
+
+__all__ = ["coverage_by_file", "rate", "main"]
+
+#: committed coverage floors, percent
+TOTAL_FLOOR = 70.0
+VALIDATE_FLOOR = 90.0
+
+
+def coverage_by_file(xml_path: str) -> Dict[str, Tuple[int, int]]:
+    """Parse a Cobertura report into ``{filename: (covered, total)}``
+    line tallies (condition/branch data is ignored)."""
+    root = ET.parse(xml_path).getroot()
+    out: Dict[str, Tuple[int, int]] = {}
+    for cls in root.iter("class"):
+        filename = cls.get("filename", "")
+        covered, total = out.get(filename, (0, 0))
+        for line in cls.iter("line"):
+            total += 1
+            if int(line.get("hits", "0")) > 0:
+                covered += 1
+        out[filename] = (covered, total)
+    return out
+
+
+def rate(files: Dict[str, Tuple[int, int]], prefix: str = "") -> float:
+    """Percent line coverage of files whose path contains ``prefix``."""
+    covered = total = 0
+    for filename, (c, t) in files.items():
+        if prefix in filename:
+            covered += c
+            total += t
+    if total == 0:
+        return 0.0
+    return 100.0 * covered / total
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validate.coverage_gate",
+        description="enforce committed coverage floors on a Cobertura XML report",
+    )
+    parser.add_argument("report", help="path to coverage.xml")
+    parser.add_argument("--total-floor", type=float, default=TOTAL_FLOOR,
+                        help=f"overall line-coverage floor, percent (default {TOTAL_FLOOR})")
+    parser.add_argument("--validate-floor", type=float, default=VALIDATE_FLOOR,
+                        help="repro/validate package floor, percent "
+                             f"(default {VALIDATE_FLOOR})")
+    args = parser.parse_args(argv)
+
+    if not Path(args.report).is_file():
+        print(f"coverage_gate: report {args.report!r} not found", file=sys.stderr)
+        return 2
+    files = coverage_by_file(args.report)
+    total = rate(files)
+    validate = rate(files, prefix="validate/")
+    print(f"coverage: total {total:.1f}% (floor {args.total_floor:.1f}%), "
+          f"repro/validate {validate:.1f}% (floor {args.validate_floor:.1f}%)")
+    failed = False
+    if total < args.total_floor:
+        print(f"coverage_gate: TOTAL below floor ({total:.1f}% < {args.total_floor:.1f}%)")
+        failed = True
+    if validate < args.validate_floor:
+        print("coverage_gate: repro/validate below floor "
+              f"({validate:.1f}% < {args.validate_floor:.1f}%)")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

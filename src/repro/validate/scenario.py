@@ -1,0 +1,215 @@
+"""Pure-data fuzz scenarios: config axes x fault plans x traffic.
+
+A :class:`Scenario` is everything needed to rebuild one randomized run
+bit-identically: protocol, cluster knobs (MTU, 0-copy, coalescing,
+window, ack cadence), a declarative fault plan and a traffic matrix.
+Scenarios are JSON round-trippable — the shrinker mutates them as data
+and the replay CLI re-runs them from a ``REPLAY_<seed>.json`` artifact.
+
+The generator draws every axis from one named RNG stream per scenario
+(derived from the master seed), so scenario ``i`` of seed ``s`` is the
+same forever, regardless of how many scenarios were generated before it
+or which worker process generates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import MTU_JUMBO, MTU_STANDARD
+from ..faults import FaultPlan, OutageWindow, SwitchBlackout
+from ..sim import RngStreams
+
+__all__ = ["Message", "Scenario", "generate_scenario", "SCHEMA"]
+
+#: artifact schema tag (bump on incompatible Scenario changes)
+SCHEMA = "repro.validate/1"
+
+#: a "permanent" outage end: far beyond any sim horizon
+FOREVER_NS = 1e18
+
+#: hard ceiling on simulated time per scenario; exceeding it (the event
+#: queue still busy at the horizon) is itself reported as a violation.
+HORIZON_NS = 120e9
+
+
+@dataclass(frozen=True)
+class Message:
+    """One application message of the traffic matrix."""
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: int
+
+    def to_list(self) -> List[int]:
+        """Compact JSON form: ``[src, dst, nbytes, tag]``."""
+        return [self.src, self.dst, self.nbytes, self.tag]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One self-contained fuzz case (pure data, JSON round-trippable)."""
+
+    seed: int
+    protocol: str = "clic"  # "clic" | "tcp"
+    num_nodes: int = 2
+    mtu: int = MTU_STANDARD
+    zero_copy: bool = True
+    coalescing: bool = True
+    window_frames: int = 64
+    ack_every: int = 16
+    dupack_threshold: int = 3
+    adaptive_rto: bool = True
+    #: fault axis: none | uniform | burst | outage | flaps | blackout
+    fault_kind: str = "none"
+    #: loss probability (uniform) or long-run average rate (burst)
+    fault_rate: float = 0.0
+    #: extra fault parameters (outage timing, flap counts, burstiness)
+    fault_args: Dict[str, float] = field(default_factory=dict)
+    messages: Tuple[Message, ...] = ()
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def permanent_fault(self) -> bool:
+        """True when the plan makes some delivery impossible forever
+        (an outage/blackout that never ends) — the peer-death case."""
+        return (
+            self.fault_kind in ("outage", "blackout")
+            and self.fault_args.get("duration_ns", 0.0) >= FOREVER_NS
+        )
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """Compile the fault axis into a :class:`FaultPlan` (or None)."""
+        if self.fault_kind == "none":
+            return None
+        if self.fault_kind == "uniform":
+            return FaultPlan.uniform(self.fault_rate)
+        if self.fault_kind == "burst":
+            return FaultPlan.bursty(
+                self.fault_rate,
+                mean_burst_frames=self.fault_args.get("mean_burst_frames", 8.0),
+            )
+        start = self.fault_args["start_ns"]
+        window = OutageWindow(start, start + self.fault_args["duration_ns"])
+        node = int(self.fault_args.get("node", 0))
+        if self.fault_kind == "outage":
+            return FaultPlan(links={
+                (node, 0, "up"): replace(FaultPlan().default_link, outages=(window,)),
+                (node, 0, "down"): replace(FaultPlan().default_link, outages=(window,)),
+            })
+        if self.fault_kind == "flaps":
+            from ..faults import flap_timeline
+
+            windows = flap_timeline(
+                start,
+                self.fault_args["duration_ns"],
+                self.fault_args["up_ns"],
+                int(self.fault_args["flaps"]),
+            )
+            return FaultPlan(links={
+                (node, 0, "up"): replace(FaultPlan().default_link, outages=windows),
+                (node, 0, "down"): replace(FaultPlan().default_link, outages=windows),
+            })
+        if self.fault_kind == "blackout":
+            return FaultPlan(switch_blackouts=(SwitchBlackout(window=window, node=node),))
+        raise ValueError(f"unknown fault kind {self.fault_kind!r}")
+
+    # -- (de)serialization ----------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (the replay artifact payload)."""
+        doc = asdict(self)
+        doc["messages"] = [m.to_list() for m in self.messages]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        doc = dict(doc)
+        doc["messages"] = tuple(Message(*entry) for entry in doc.get("messages", ()))
+        doc["fault_args"] = dict(doc.get("fault_args", {}))
+        return cls(**doc)
+
+
+def _traffic(rng, num_nodes: int, protocol: str) -> Tuple[Message, ...]:
+    """A random traffic matrix: unique tags per (src, dst) channel, no
+    self-sends (the same-node path has its own tests), no broadcasts
+    (frame conservation stays exact without fan-out accounting)."""
+    count = int(rng.integers(1, 9))
+    messages: List[Message] = []
+    tags: Dict[Tuple[int, int], int] = {}
+    for _ in range(count):
+        if protocol == "tcp":
+            src, dst = 0, 1  # one connected socket pair
+        else:
+            src = int(rng.integers(0, num_nodes))
+            dst = int(rng.integers(0, num_nodes - 1))
+            if dst >= src:
+                dst += 1  # uniform over peers, never self
+        nbytes = int(rng.choice([0, 1, 64, 1024, 1480, 1500, 9000, 20_000, 40_000]))
+        if protocol == "tcp" and nbytes == 0:
+            nbytes = 1  # a TCP stream has no zero-length message concept
+        key = (src, dst)
+        tag = tags.get(key, 0)
+        tags[key] = tag + 1
+        messages.append(Message(src, dst, nbytes, tag))
+    return tuple(messages)
+
+
+def _faults(rng, protocol: str, num_nodes: int) -> Tuple[str, float, Dict[str, float]]:
+    """Draw the fault axis.  TCP scenarios skip permanent faults: the
+    era-faithful 200 ms minimum RTO puts TCP's retry-exhaustion horizon
+    (~minutes of simulated backoff) beyond the harness budget."""
+    kinds = ["none", "uniform", "uniform", "burst", "outage", "flaps", "blackout"]
+    if protocol == "clic":
+        kinds.append("dead")  # permanent outage -> peer death expected
+    kind = str(rng.choice(kinds))
+    if kind == "none":
+        return "none", 0.0, {}
+    if kind == "uniform":
+        return "uniform", round(float(rng.uniform(0.005, 0.15)), 4), {}
+    if kind == "burst":
+        return "burst", round(float(rng.uniform(0.01, 0.08)), 4), {
+            "mean_burst_frames": float(rng.choice([4.0, 8.0, 16.0])),
+        }
+    node = int(rng.integers(0, num_nodes))
+    start = round(float(rng.uniform(50_000.0, 2_000_000.0)), 1)
+    if kind == "dead":
+        return "outage", 0.0, {"start_ns": start, "duration_ns": FOREVER_NS, "node": node}
+    duration = round(float(rng.uniform(200_000.0, 20_000_000.0)), 1)
+    args: Dict[str, float] = {"start_ns": start, "duration_ns": duration, "node": node}
+    if kind == "flaps":
+        args["duration_ns"] = round(float(rng.uniform(100_000.0, 2_000_000.0)), 1)
+        args["up_ns"] = round(float(rng.uniform(200_000.0, 5_000_000.0)), 1)
+        args["flaps"] = float(int(rng.integers(2, 5)))
+    return kind, 0.0, args
+
+
+def generate_scenario(master_seed: int, index: int) -> Scenario:
+    """Scenario ``index`` of the fuzz campaign seeded by ``master_seed``.
+
+    Stable: depends only on ``(master_seed, index)``, so a campaign can
+    be fanned out over any number of workers (or re-run one index) and
+    always produce the same cases.
+    """
+    rng = RngStreams(master_seed).stream(f"scenario.{index}")
+    protocol = "tcp" if rng.random() < 0.25 else "clic"
+    num_nodes = 2 if protocol == "tcp" else int(rng.choice([2, 2, 3, 4]))
+    fault_kind, fault_rate, fault_args = _faults(rng, protocol, num_nodes)
+    return Scenario(
+        seed=int(rng.integers(0, 2**31 - 1)),
+        protocol=protocol,
+        num_nodes=num_nodes,
+        mtu=int(rng.choice([MTU_STANDARD, MTU_JUMBO])),
+        zero_copy=bool(rng.random() < 0.75),
+        coalescing=bool(rng.random() < 0.75),
+        window_frames=int(rng.choice([4, 8, 16, 64])),
+        ack_every=int(rng.choice([1, 2, 8, 16])),
+        dupack_threshold=int(rng.choice([0, 3, 3])),
+        adaptive_rto=bool(rng.random() < 0.75),
+        fault_kind=fault_kind,
+        fault_rate=fault_rate,
+        fault_args=fault_args,
+        messages=_traffic(rng, num_nodes, protocol),
+    )

@@ -1,0 +1,132 @@
+"""Greedy deterministic shrinking of failing scenarios.
+
+Given a scenario that violates an invariant, :func:`shrink` searches for
+a *smaller* scenario that still violates the same invariant (same
+catalog id), by repeatedly applying reduction passes — delta-debugging
+the message list, zeroing message sizes, collapsing the cluster to two
+nodes, and resetting config/fault axes to their defaults — and keeping
+every candidate that still fails.  The search is purely a function of
+the input scenario and the (deterministic) runner, so shrinking the
+same failure twice yields the same minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Optional, Set, Tuple
+
+from .invariants import Violation
+from .scenario import Message, Scenario
+
+__all__ = ["shrink", "ShrinkResult"]
+
+#: safety valve on candidate executions per shrink
+MAX_RUNS = 200
+
+
+class ShrinkResult:
+    """Outcome of a shrink: the minimal scenario plus its violations."""
+
+    def __init__(self, scenario: Scenario, violations: List[Violation], runs: int):
+        self.scenario = scenario
+        self.violations = violations
+        self.runs = runs
+
+
+def _cost(s: Scenario) -> Tuple[int, int, int, int]:
+    """Lexicographic size measure the shrinker drives down."""
+    axes_off_default = sum([
+        s.mtu != 1500,
+        not s.zero_copy,
+        not s.coalescing,
+        s.window_frames != 64,
+        s.ack_every != 16,
+        s.dupack_threshold != 3,
+        not s.adaptive_rto,
+        s.fault_kind != "none",
+    ])
+    return (
+        len(s.messages),
+        sum(m.nbytes for m in s.messages),
+        s.num_nodes,
+        axes_off_default,
+    )
+
+
+def _message_subsets(messages: Tuple[Message, ...]) -> Iterator[Tuple[Message, ...]]:
+    """Delta-debugging order: drop halves first, then single messages."""
+    n = len(messages)
+    if n > 1:
+        half = n // 2
+        yield messages[half:]
+        yield messages[:half]
+    for i in range(n):
+        if n > 1:
+            yield messages[:i] + messages[i + 1:]
+
+
+def _candidates(s: Scenario) -> Iterator[Scenario]:
+    """All one-step reductions of ``s``, most aggressive first."""
+    # 1. fewer messages
+    for subset in _message_subsets(s.messages):
+        yield replace(s, messages=subset)
+    # 2. smaller messages
+    floor = 1 if s.protocol == "tcp" else 0
+    for i, m in enumerate(s.messages):
+        for smaller in (floor, 1024):
+            if m.nbytes > smaller:
+                msgs = list(s.messages)
+                msgs[i] = replace(m, nbytes=smaller)
+                yield replace(s, messages=tuple(msgs))
+    # 3. fewer nodes (only when all traffic and the fault already fit)
+    if s.num_nodes > 2:
+        used: Set[int] = {m.src for m in s.messages} | {m.dst for m in s.messages}
+        used.add(int(s.fault_args.get("node", 0)))
+        if used <= {0, 1}:
+            yield replace(s, num_nodes=2)
+    # 4. config axes back to defaults
+    for field, default in (("mtu", 1500), ("zero_copy", True), ("coalescing", True),
+                           ("window_frames", 64), ("ack_every", 16),
+                           ("dupack_threshold", 3), ("adaptive_rto", True)):
+        if getattr(s, field) != default:
+            yield replace(s, **{field: default})
+    # 5. drop or tame the fault axis
+    if s.fault_kind != "none":
+        yield replace(s, fault_kind="none", fault_rate=0.0, fault_args={})
+        if s.fault_rate > 0.01:
+            yield replace(s, fault_rate=round(s.fault_rate / 2, 4))
+
+
+def shrink(
+    scenario: Scenario,
+    violations: List[Violation],
+    run_fn: Callable[[Scenario], List[Violation]],
+    max_runs: int = MAX_RUNS,
+) -> ShrinkResult:
+    """Reduce ``scenario`` while it keeps violating the same invariants.
+
+    ``run_fn`` executes a candidate and returns its violations (injected
+    so unit tests can shrink against synthetic failure predicates).  A
+    candidate is accepted when it is strictly cheaper (:func:`_cost`)
+    and still triggers at least one of the original invariant ids.
+    """
+    target_ids = {v.invariant for v in violations}
+    if not target_ids:
+        raise ValueError("nothing to shrink: no violations")
+    best, best_violations = scenario, violations
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for candidate in _candidates(best):
+            if runs >= max_runs:
+                break
+            if _cost(candidate) >= _cost(best):
+                continue
+            runs += 1
+            got = run_fn(candidate)
+            if any(v.invariant in target_ids for v in got):
+                best, best_violations = candidate, got
+                improved = True
+                break  # restart the pass ladder from the smaller scenario
+    return ShrinkResult(best, best_violations, runs)

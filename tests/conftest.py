@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+The headline export is :func:`seeded_rng`, the one way randomized tests
+should obtain randomness.  It hands out numpy Generators whose seed is a
+deterministic function of the test's node id (so every test, including
+each parametrization, gets its own stable stream), records that seed on
+the test item, and — via the report hook below — prints it in the
+failure output together with the ``--rng-seed`` incantation that forces
+the same stream for a local repro.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--rng-seed",
+        type=int,
+        default=None,
+        help="override the per-test base seed used by the seeded_rng fixture",
+    )
+
+
+class SeededRng:
+    """Factory for reproducible RNG streams tied to one base seed.
+
+    Calling it returns a *fresh* ``numpy.random.Generator``; calling it
+    twice with the same ``salt`` returns identically-seeded generators
+    (handy for determinism tests).  Distinct salts give independent
+    streams off the same base seed.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def __call__(self, salt: int = 0) -> np.random.Generator:
+        return np.random.default_rng([self.seed, salt])
+
+    def __repr__(self) -> str:  # shows up in pytest fixture introspection
+        return f"SeededRng(seed={self.seed})"
+
+
+@pytest.fixture
+def seeded_rng(request) -> SeededRng:
+    """Per-test deterministic RNG factory; failure output prints the seed."""
+    override = request.config.getoption("--rng-seed")
+    if override is not None:
+        seed = override
+    else:
+        seed = zlib.crc32(request.node.nodeid.encode()) & 0x7FFFFFFF
+    request.node._seeded_rng_seed = seed
+    return SeededRng(seed)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    seed = getattr(item, "_seeded_rng_seed", None)
+    if seed is not None and report.failed:
+        report.sections.append(
+            (
+                "seeded_rng",
+                f"base seed {seed} — reproduce with: pytest {item.nodeid!r} --rng-seed={seed}",
+            )
+        )

@@ -1,0 +1,81 @@
+"""Statistical checks on the Gilbert–Elliott burst-loss model.
+
+Over a long fixed-seed frame sequence the empirical loss rate must
+match :attr:`BurstLoss.average_loss_rate` (the analytic stationary
+rate) within tolerance, bursts must actually cluster losses, and
+identical seeds must produce identical loss sequences — the property
+the whole replay subsystem leans on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import BurstLoss
+from repro.faults.inject import GilbertElliottModel
+
+FRAMES = 40_000
+
+
+def _loss_sequence(spec: BurstLoss, seed: int, frames: int = FRAMES):
+    model = GilbertElliottModel(spec)
+    rng = np.random.default_rng(seed)
+    return model, [model.frame_lost(rng) for _ in range(frames)]
+
+
+@pytest.mark.parametrize("seed", [3, 11, 2003])
+@pytest.mark.parametrize(
+    "spec",
+    [
+        BurstLoss(p_good_to_bad=0.01, p_bad_to_good=0.125),
+        BurstLoss(p_good_to_bad=0.02, p_bad_to_good=0.25, loss_bad=0.6),
+        BurstLoss.from_average(0.03, mean_burst_frames=8.0),
+    ],
+    ids=["hard-bursts", "soft-bursts", "from-average"],
+)
+def test_empirical_rate_matches_analytic_stationary_rate(spec, seed):
+    model, losses = _loss_sequence(spec, seed)
+    empirical = sum(losses) / len(losses)
+    analytic = spec.average_loss_rate
+    # Burst losses are highly correlated, so the variance of the
+    # empirical mean is much larger than the i.i.d. binomial bound —
+    # allow 30% relative slack plus an absolute floor.
+    assert empirical == pytest.approx(analytic, rel=0.30, abs=0.01)
+    assert model.bursts > 0  # the chain actually visited the bad state
+
+
+def test_losses_actually_cluster():
+    """The point of Gilbert–Elliott: at the same average rate, losses
+    arrive in runs.  Compare mean run length against a uniform channel."""
+    spec = BurstLoss.from_average(0.05, mean_burst_frames=8.0)
+    _, losses = _loss_sequence(spec, seed=7)
+
+    def mean_run(seq):
+        runs, current = [], 0
+        for lost in seq:
+            if lost:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        return sum(runs) / len(runs) if runs else 0.0
+
+    uniform = np.random.default_rng(7).random(FRAMES) < 0.05
+    assert mean_run(losses) > 2.0 * mean_run(list(uniform))
+
+
+@pytest.mark.parametrize("seed", [0, 5, 42])
+def test_identical_seeds_identical_sequences(seed):
+    spec = BurstLoss(p_good_to_bad=0.02, p_bad_to_good=0.2, loss_bad=0.8)
+    model_a, a = _loss_sequence(spec, seed, frames=5_000)
+    model_b, b = _loss_sequence(spec, seed, frames=5_000)
+    assert a == b
+    assert model_a.bursts == model_b.bursts
+
+
+def test_different_seeds_differ():
+    spec = BurstLoss(p_good_to_bad=0.02, p_bad_to_good=0.2)
+    _, a = _loss_sequence(spec, seed=1, frames=5_000)
+    _, b = _loss_sequence(spec, seed=2, frames=5_000)
+    assert a != b

@@ -25,10 +25,13 @@ def test_micro_document_structure(micro_doc):
         assert case["ns_per_op"] > 0
 
 
+@pytest.mark.perf
 def test_fastpath_beats_timer_processes(micro_doc):
     """The point of the slotted-timer rewrite: churning ``call_later``
     handles must clearly beat churning timer processes.  The real margin
-    is ~3x; 1.2x keeps the assertion robust on noisy CI boxes."""
+    is ~3x; 1.2x keeps the assertion robust on noisy boxes — but it is
+    still a wall-clock race, so it runs only under ``-m perf`` (the CI
+    perf job), never in the tier-1 correctness suite."""
     assert micro_doc["speedup"]["fastpath_vs_process"] > 1.2
 
 

@@ -1,0 +1,108 @@
+"""Property tests: fragmentation round-trips for every wire format.
+
+Seeded-random message sizes × MTUs must fragment (via the shared
+:func:`~repro.protocols.headers.fragment_plan`) and reassemble back to
+the original payload for each packet family that fragments —
+ClicPacket, GammaPacket, ViaPacket — and for TcpSegment's byte-stream
+segmentation; ``is_last_fragment`` must hold for exactly one fragment
+per message, and it must be the final one.
+"""
+
+import pytest
+
+from repro.protocols.headers import (
+    ClicPacket,
+    ClicPacketType,
+    GammaPacket,
+    TcpSegment,
+    ViaPacket,
+    fragment_plan,
+)
+
+#: user bytes per frame for the MTUs the paper evaluates, minus
+#: representative header overheads (CLIC: 14 eth + 12 clic).
+FRAG_MAXES = [1474, 1500 - 26, 9000 - 26, 1, 7, 8973]
+
+
+def _random_sizes(rng, count=40):
+    exact = [0, 1, 1474, 1475, 2948, 8974, 9000]
+    drawn = [int(rng.integers(0, 60_000)) for _ in range(count)]
+    return exact + drawn
+
+
+def _make_clic(offset, frag, nbytes):
+    return ClicPacket(
+        ptype=ClicPacketType.DATA, src_node=0, dst_node=1, port=5,
+        msg_id=1, seq=0, frag_offset=offset, frag_bytes=frag, msg_bytes=nbytes,
+    )
+
+
+def _make_gamma(offset, frag, nbytes):
+    return GammaPacket(
+        src_node=0, dst_node=1, port=5, msg_id=1,
+        frag_offset=offset, frag_bytes=frag, msg_bytes=nbytes,
+    )
+
+
+def _make_via(offset, frag, nbytes):
+    return ViaPacket(
+        src_node=0, dst_node=1, vi_id=3, msg_id=1,
+        frag_offset=offset, frag_bytes=frag, msg_bytes=nbytes,
+    )
+
+
+@pytest.mark.parametrize("make", [_make_clic, _make_gamma, _make_via],
+                         ids=["clic", "gamma", "via"])
+@pytest.mark.parametrize("frag_max", FRAG_MAXES)
+def test_property_fragment_reassemble_round_trip(seeded_rng, make, frag_max):
+    rng = seeded_rng(frag_max)
+    for nbytes in _random_sizes(rng):
+        pkts = [make(off, frag, nbytes) for off, frag in fragment_plan(nbytes, frag_max)]
+
+        # Reassembly: fragments are contiguous, in order, and cover the
+        # message exactly once.
+        assert pkts[0].frag_offset == 0
+        for prev, cur in zip(pkts, pkts[1:]):
+            assert cur.frag_offset == prev.frag_offset + prev.frag_bytes
+        assert sum(p.frag_bytes for p in pkts) == nbytes
+        assert all(0 <= p.frag_bytes <= frag_max for p in pkts)
+        assert all(p.msg_bytes == nbytes for p in pkts)
+
+        # Exactly one last fragment, and it is the final one — the
+        # receiver's completion trigger fires exactly once per message.
+        last_flags = [p.is_last_fragment for p in pkts]
+        assert sum(last_flags) == 1
+        assert last_flags[-1]
+
+        # Fragment count is minimal: ceil(nbytes / frag_max), with one
+        # (empty) fragment for the zero-byte message.
+        expected = max(1, -(-nbytes // frag_max))
+        assert len(pkts) == expected
+
+
+@pytest.mark.parametrize("frag_max", FRAG_MAXES)
+def test_property_tcp_segmentation_round_trip(seeded_rng, frag_max):
+    """TCP has no fragment header — the stream is cut into segments whose
+    data_bytes must add back up to the original send size."""
+    rng = seeded_rng(frag_max)
+    for nbytes in _random_sizes(rng):
+        segs = [
+            TcpSegment(src_node=0, dst_node=1, conn_id=1, seq=i, data_bytes=frag)
+            for i, (_, frag) in enumerate(fragment_plan(nbytes, frag_max))
+        ]
+        assert sum(s.data_bytes for s in segs) == nbytes
+        assert [s.seq for s in segs] == list(range(len(segs)))
+        assert all(0 <= s.data_bytes <= frag_max for s in segs)
+
+
+def test_fragment_plan_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        list(fragment_plan(-1, 1474))
+    with pytest.raises(ValueError):
+        list(fragment_plan(100, 0))
+    with pytest.raises(ValueError):
+        list(fragment_plan(100, -5))
+
+
+def test_fragment_plan_zero_byte_message_is_one_empty_fragment():
+    assert list(fragment_plan(0, 1474)) == [(0, 0)]

@@ -1,29 +1,34 @@
 """End-to-end randomized traffic: the whole-stack conservation property.
 
-Hypothesis drives random message matrices (sizes, tags, node pairs,
-with and without frame loss) through the full simulated cluster; every
-message must arrive exactly once with the right size and tag, and byte
-counters must balance.
+The shared ``seeded_rng`` fixture drives random message matrices (sizes,
+tags, node pairs, with and without frame loss) through the full
+simulated cluster; every message must arrive exactly once with the
+right size and tag, and byte counters must balance.  Each trial is a
+deterministic function of the test's seed, which pytest prints on
+failure.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.cluster import Cluster
 from repro.config import MTU_STANDARD, granada2003
 from repro.protocols.clic import ClicEndpoint
 
-message = st.tuples(
-    st.integers(min_value=0, max_value=2),  # src node
-    st.integers(min_value=0, max_value=2),  # dst node
-    st.integers(min_value=0, max_value=20_000),  # nbytes
-)
+SIZES = [0, 1, 37, 512, 1480, 1500, 4096, 9000, 20_000]
 
 
-@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(msgs=st.lists(message, min_size=1, max_size=8))
-def test_property_random_traffic_delivered_exactly_once(msgs):
+def _random_messages(rng, max_msgs=8, num_nodes=3):
+    count = int(rng.integers(1, max_msgs + 1))
+    return [
+        (int(rng.integers(0, num_nodes)), int(rng.integers(0, num_nodes)),
+         int(rng.choice(SIZES)))
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("trial", range(15))
+def test_property_random_traffic_delivered_exactly_once(seeded_rng, trial):
+    msgs = _random_messages(seeded_rng(trial))
     cluster = Cluster(granada2003(mtu=MTU_STANDARD, num_nodes=3))
     received = []
     # Unique tags so we can match deliveries to sends.
@@ -80,12 +85,11 @@ def test_property_random_traffic_delivered_exactly_once(msgs):
     )
 
 
-@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(
-    sizes=st.lists(st.integers(min_value=1, max_value=30_000), min_size=1, max_size=4),
-    loss_pct=st.sampled_from([0.02, 0.05, 0.1]),
-)
-def test_property_reliable_under_random_loss(sizes, loss_pct):
+@pytest.mark.parametrize("trial", range(6))
+def test_property_reliable_under_random_loss(seeded_rng, trial):
+    rng = seeded_rng(trial)
+    sizes = [int(rng.integers(1, 30_001)) for _ in range(int(rng.integers(1, 5)))]
+    loss_pct = float(rng.choice([0.02, 0.05, 0.1]))
     cluster = Cluster(granada2003(mtu=MTU_STANDARD), loss_rate=loss_pct)
     got = []
 

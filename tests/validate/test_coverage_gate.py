@@ -1,0 +1,72 @@
+"""The coverage gate: Cobertura parsing and floor enforcement."""
+
+import pytest
+
+from repro.validate.coverage_gate import coverage_by_file, main, rate
+
+REPORT = """<?xml version="1.0" ?>
+<coverage line-rate="0.5">
+  <packages>
+    <package name="repro">
+      <classes>
+        <class filename="repro/validate/invariants.py">
+          <lines>
+            <line number="1" hits="3"/>
+            <line number="2" hits="1"/>
+            <line number="3" hits="1"/>
+            <line number="4" hits="1"/>
+            <line number="5" hits="0"/>
+          </lines>
+        </class>
+        <class filename="repro/hw/link.py">
+          <lines>
+            <line number="1" hits="1"/>
+            <line number="2" hits="0"/>
+            <line number="3" hits="0"/>
+            <line number="4" hits="0"/>
+          </lines>
+        </class>
+      </classes>
+    </package>
+  </packages>
+</coverage>
+"""
+
+
+@pytest.fixture
+def report(tmp_path):
+    path = tmp_path / "coverage.xml"
+    path.write_text(REPORT)
+    return str(path)
+
+
+def test_per_file_line_tallies(report):
+    files = coverage_by_file(report)
+    assert files["repro/validate/invariants.py"] == (4, 5)
+    assert files["repro/hw/link.py"] == (1, 4)
+
+
+def test_rate_filters_by_prefix(report):
+    files = coverage_by_file(report)
+    assert rate(files) == pytest.approx(100.0 * 5 / 9)
+    assert rate(files, prefix="validate/") == pytest.approx(80.0)
+    assert rate(files, prefix="nonexistent/") == 0.0
+
+
+def test_gate_passes_when_floors_met(report, capsys):
+    assert main([report, "--total-floor", "50", "--validate-floor", "75"]) == 0
+    assert "coverage: total" in capsys.readouterr().out
+
+
+def test_gate_fails_on_total_floor(report, capsys):
+    assert main([report, "--total-floor", "60", "--validate-floor", "75"]) == 1
+    assert "TOTAL below floor" in capsys.readouterr().out
+
+
+def test_gate_fails_on_validate_floor(report, capsys):
+    assert main([report, "--total-floor", "50", "--validate-floor", "90"]) == 1
+    assert "repro/validate below floor" in capsys.readouterr().out
+
+
+def test_gate_missing_report_is_an_error(tmp_path):
+    assert main([str(tmp_path / "nope.xml")]) == 2

@@ -1,0 +1,85 @@
+"""The acceptance loop: a deliberately injected protocol bug is caught
+by the fuzzer, shrunk to a minimal reproducer, and its ``REPLAY_*.json``
+artifact reproduces the violation bit-identically — while the same
+artifact detects (by mismatching) that a clean build no longer has the
+bug.
+
+The mutation disables Karn's rule: :meth:`WindowedSender._note_retransmitted`
+is the seam the sender uses to quarantine retransmitted sequence numbers
+from RTT sampling; no-opping it makes the estimator sample ambiguous
+RTTs, which the ``rto.karn`` invariant must flag.
+"""
+
+import json
+
+import pytest
+
+from repro.protocols.reliability import WindowedSender
+from repro.validate.__main__ import main
+from repro.validate.scenario import SCHEMA
+
+BUDGET = 6
+SEED = 7
+
+
+def _disable_karn():
+    original = WindowedSender._note_retransmitted
+    WindowedSender._note_retransmitted = lambda self, seqs: None
+    return original
+
+
+@pytest.fixture(scope="module")
+def karn_campaign(tmp_path_factory):
+    """One fuzz campaign run with Karn's rule disabled."""
+    out = tmp_path_factory.mktemp("replays")
+    original = _disable_karn()
+    try:
+        rc = main(["fuzz", "--budget", str(BUDGET), "--seed", str(SEED),
+                   "--out", str(out)])
+    finally:
+        WindowedSender._note_retransmitted = original
+    return rc, sorted(out.glob("REPLAY_*.json"))
+
+
+def test_mutation_is_caught(karn_campaign):
+    rc, artifacts = karn_campaign
+    assert rc == 1
+    assert artifacts, "no failing scenario found the Karn mutation"
+
+
+def test_every_failure_is_the_karn_invariant(karn_campaign):
+    _, artifacts = karn_campaign
+    for path in artifacts:
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["violations"], path.name
+        assert {v["invariant"] for v in doc["violations"]} == {"rto.karn"}
+
+
+def test_failures_were_shrunk_to_minimal_reproducers(karn_campaign):
+    _, artifacts = karn_campaign
+    for path in artifacts:
+        doc = json.loads(path.read_text())
+        # generated scenarios carry up to 8 messages; a minimal Karn
+        # reproducer needs only a message or two under loss
+        assert len(doc["scenario"]["messages"]) <= 2, path.name
+
+
+def test_replay_reproduces_bit_identically_under_the_mutation(karn_campaign, capsys):
+    _, artifacts = karn_campaign
+    original = _disable_karn()
+    try:
+        rc = main(["replay", str(artifacts[0])])
+    finally:
+        WindowedSender._note_retransmitted = original
+    assert rc == 0
+    assert "bit-identically" in capsys.readouterr().out
+
+
+def test_replay_detects_the_fix_on_a_clean_build(karn_campaign, capsys):
+    """Same artifact, mutation reverted: the violation must be gone and
+    replay must say so (exit 1, mismatch) — the fix-verification flow."""
+    _, artifacts = karn_campaign
+    rc = main(["replay", str(artifacts[0])])
+    assert rc == 1
+    assert "MISMATCH" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""The scenario generator: stability, serialization, fault compilation."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.validate import Message, Scenario, generate_scenario
+from repro.validate.scenario import FOREVER_NS
+
+
+def test_generation_is_a_pure_function_of_seed_and_index():
+    a = [generate_scenario(7, i).to_dict() for i in range(10)]
+    b = [generate_scenario(7, i).to_dict() for i in range(10)]
+    assert a == b
+
+
+def test_indices_are_independent_streams():
+    """Scenario i never depends on how many scenarios came before it."""
+    assert generate_scenario(7, 5) == generate_scenario(7, 5)
+    assert generate_scenario(7, 0) != generate_scenario(7, 1)
+    assert generate_scenario(7, 0) != generate_scenario(8, 0)
+
+
+def test_dict_round_trip():
+    for i in range(20):
+        s = generate_scenario(3, i)
+        back = Scenario.from_dict(s.to_dict())
+        assert back == s
+        assert isinstance(back.messages[0], Message)
+
+
+def test_traffic_shape():
+    for i in range(50):
+        s = generate_scenario(1, i)
+        tags = {}
+        for m in s.messages:
+            assert 0 <= m.src < s.num_nodes
+            assert 0 <= m.dst < s.num_nodes
+            assert m.src != m.dst
+            # tags increase per channel -> deliveries are matchable
+            assert m.tag == tags.get((m.src, m.dst), 0)
+            tags[(m.src, m.dst)] = m.tag + 1
+        if s.protocol == "tcp":
+            assert s.num_nodes == 2
+            assert all(m.src == 0 and m.dst == 1 for m in s.messages)
+            assert all(m.nbytes >= 1 for m in s.messages)
+            assert not s.permanent_fault  # TCP skips the peer-death axis
+
+
+def test_axes_are_actually_explored():
+    scenarios = [generate_scenario(7, i) for i in range(40)]
+    assert {s.protocol for s in scenarios} == {"clic", "tcp"}
+    assert {s.mtu for s in scenarios} == {1500, 9000}
+    assert {s.zero_copy for s in scenarios} == {True, False}
+    assert len({s.fault_kind for s in scenarios}) >= 4
+
+
+def test_fault_plan_compilation():
+    none = Scenario(seed=1, fault_kind="none")
+    assert none.fault_plan() is None
+
+    uniform = Scenario(seed=1, fault_kind="uniform", fault_rate=0.05)
+    assert uniform.fault_plan().default_link.loss_rate == 0.05
+
+    burst = Scenario(seed=1, fault_kind="burst", fault_rate=0.03,
+                     fault_args={"mean_burst_frames": 8.0})
+    assert burst.fault_plan().default_link.burst is not None
+
+    outage = Scenario(seed=1, fault_kind="outage",
+                      fault_args={"start_ns": 10.0, "duration_ns": 20.0, "node": 1})
+    plan = outage.fault_plan()
+    assert set(plan.links) == {(1, 0, "up"), (1, 0, "down")}
+    assert plan.links[(1, 0, "up")].outages[0].end_ns == 30.0
+
+    flaps = Scenario(seed=1, fault_kind="flaps",
+                     fault_args={"start_ns": 0.0, "duration_ns": 5.0,
+                                 "up_ns": 5.0, "flaps": 3})
+    assert len(flaps.fault_plan().links[(0, 0, "up")].outages) == 3
+
+    blackout = Scenario(seed=1, fault_kind="blackout",
+                        fault_args={"start_ns": 10.0, "duration_ns": 20.0, "node": 0})
+    plan = blackout.fault_plan()
+    assert isinstance(plan, FaultPlan) and len(plan.switch_blackouts) == 1
+
+    with pytest.raises(ValueError):
+        Scenario(seed=1, fault_kind="gremlins",
+                 fault_args={"start_ns": 0.0, "duration_ns": 1.0}).fault_plan()
+
+
+def test_permanent_fault_detection():
+    dead = Scenario(seed=1, fault_kind="outage",
+                    fault_args={"start_ns": 1.0, "duration_ns": FOREVER_NS})
+    assert dead.permanent_fault
+    transient = Scenario(seed=1, fault_kind="outage",
+                         fault_args={"start_ns": 1.0, "duration_ns": 5e6})
+    assert not transient.permanent_fault
+    lossy = Scenario(seed=1, fault_kind="uniform", fault_rate=0.5)
+    assert not lossy.permanent_fault

@@ -1,0 +1,109 @@
+"""The shrinker, driven by synthetic failure predicates.
+
+``run_fn`` is injected, so these tests shrink against pure predicates
+instead of full simulations — fast, and they pin down the contract:
+strictly decreasing cost, same invariant id preserved, deterministic
+result, bounded run count.
+"""
+
+import pytest
+
+from repro.validate import Message, Scenario, Violation, shrink
+
+
+def predicate(check):
+    """Wrap a boolean scenario predicate as a shrink run_fn."""
+
+    def run_fn(scenario):
+        if check(scenario):
+            return [Violation("test.predicate", "synthetic", "still failing")]
+        return []
+
+    return run_fn
+
+
+BIG = Scenario(
+    seed=1,
+    num_nodes=4,
+    mtu=9000,
+    zero_copy=False,
+    window_frames=8,
+    ack_every=2,
+    fault_kind="uniform",
+    fault_rate=0.1,
+    messages=(
+        Message(0, 1, 40_000, 0),
+        Message(2, 3, 9000, 0),
+        Message(1, 0, 20_000, 0),
+        Message(0, 1, 1500, 1),
+        Message(3, 2, 64, 0),
+        Message(0, 1, 0, 2),
+    ),
+)
+FAILING = [Violation("test.predicate", "synthetic", "seed failure")]
+
+
+def test_shrinks_to_single_offending_message():
+    # Fails whenever any message is >= 1000 bytes.
+    run_fn = predicate(lambda s: any(m.nbytes >= 1000 for m in s.messages))
+    result = shrink(BIG, FAILING, run_fn)
+    assert len(result.scenario.messages) == 1
+    # size-shrink pass floors the survivor at the smallest still-failing
+    # candidate it tries (1024)
+    assert result.scenario.messages[0].nbytes == 1024
+    # unrelated axes return to their defaults
+    assert result.scenario.mtu == 1500
+    assert result.scenario.zero_copy is True
+    assert result.scenario.fault_kind == "none"
+    assert result.violations and result.violations[0].invariant == "test.predicate"
+
+
+def test_shrink_is_deterministic():
+    run_fn = predicate(lambda s: any(m.nbytes >= 1000 for m in s.messages))
+    a = shrink(BIG, FAILING, run_fn)
+    b = shrink(BIG, FAILING, run_fn)
+    assert a.scenario == b.scenario
+    assert a.runs == b.runs
+
+
+def test_shrink_collapses_cluster_when_traffic_allows():
+    run_fn = predicate(lambda s: any(m.src == 0 and m.dst == 1 for m in s.messages))
+    result = shrink(BIG, FAILING, run_fn)
+    assert result.scenario.num_nodes == 2
+    assert len(result.scenario.messages) == 1
+
+
+def test_shrink_keeps_fault_axis_when_it_matters():
+    run_fn = predicate(lambda s: s.fault_kind == "uniform" and s.fault_rate > 0.04)
+    result = shrink(BIG, FAILING, run_fn)
+    assert result.scenario.fault_kind == "uniform"
+    assert result.scenario.fault_rate > 0.04
+    # traffic was irrelevant: collapsed to a single empty message (a
+    # scenario always keeps at least one message)
+    assert len(result.scenario.messages) == 1
+    assert result.scenario.messages[0].nbytes == 0
+
+
+def test_run_budget_is_respected():
+    calls = []
+
+    def run_fn(scenario):
+        calls.append(scenario)
+        return [Violation("test.predicate", "synthetic", "always fails")]
+
+    result = shrink(BIG, FAILING, run_fn, max_runs=5)
+    assert len(calls) <= 5
+    assert result.runs <= 5
+
+
+def test_shrink_requires_a_violation():
+    with pytest.raises(ValueError):
+        shrink(BIG, [], predicate(lambda s: True))
+
+
+def test_unshrinkable_failure_returns_the_original():
+    # Only the exact seed scenario fails: no reduction survives.
+    run_fn = predicate(lambda s: s == BIG)
+    result = shrink(BIG, FAILING, run_fn)
+    assert result.scenario == BIG
+    assert result.violations == FAILING
