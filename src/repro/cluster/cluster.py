@@ -101,7 +101,7 @@ class Cluster:
         self.tracer = Tracer(self.env, self.trace)
         #: cluster-wide typed metrics namespace (counters/gauges/histograms)
         self.metrics = MetricsRegistry()
-        self.switch = Switch(self.env, self.cfg.link)
+        self.switch = Switch(self.env, self.cfg.link, tracer=self.tracer)
         self.nodes: List[Node] = []
         #: every simplex wire in build order, as ``(name, Channel)`` with
         #: names ``"{node_id}.{ch}.up"`` (node -> switch) and ``...down``

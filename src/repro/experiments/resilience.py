@@ -151,6 +151,35 @@ def _point_task(spec: Tuple) -> Dict:
     return _cell(*args) if kind == "cell" else _outage_run(*args)
 
 
+def _tail_latency(rate: float, nbytes: int, messages: int) -> Dict:
+    """Journey-traced CLIC stream under burst loss: the per-message tail.
+
+    This is the ROADMAP item-3 instrument: instead of one averaged
+    goodput number, every message's journey is captured, so the p99 /
+    p99.9 latency is *attributed* — which hop dominated each outlier and
+    whether loss/retransmission drove it there.  Runs serially (one
+    cluster, one seed) so ``--jobs N`` artifacts stay byte-identical.
+    """
+    from ..obs import (JourneyProbe, JourneyRecorder, explain_outliers,
+                       journey_latency_summary)
+
+    cluster = Cluster(_cfg(SEEDS[0]), protocols=("clic",),
+                      faults=_plan("burst", rate))
+    recorder = JourneyRecorder(cluster.env)
+    cluster.tracer.journeys = recorder
+    probe = JourneyProbe.install(recorder)
+    try:
+        stream(cluster, clic_pair(), nbytes, messages=messages)
+    finally:
+        probe.uninstall()
+    journeys = recorder.as_dicts()
+    return {
+        "rate": rate,
+        "summary": journey_latency_summary(journeys),
+        "outliers": explain_outliers(journeys, top=3),
+    }
+
+
 def run(quick: bool = True, jobs: int = 1) -> Dict:
     """Run the experiment; returns results incl. a printable report.
 
@@ -174,6 +203,7 @@ def run(quick: bool = True, jobs: int = 1) -> Dict:
     points = run_tasks(_point_task, specs, jobs=jobs)
     cells = points[: -len(outage_protocols)]
     outages = dict(zip(outage_protocols, points[-len(outage_protocols):]))
+    tail = _tail_latency(rates[1], nbytes, messages)
 
     rows = [
         (c["protocol"].upper(), c["model"], f"{c['rate']:.2f}",
@@ -190,11 +220,21 @@ def run(quick: bool = True, jobs: int = 1) -> Dict:
         rows,
         title="TXT-RESIL: CLIC vs TCP under loss, burst loss, and link outage",
     )
+    s = tail["summary"]
+    report += (
+        f"\n\nCLIC message-latency tail under burst loss @ {tail['rate']:.2f} "
+        f"(journey-traced): p50 {s['p50_us']:.0f} us, p99 {s['p99_us']:.0f} us, "
+        f"p99.9 {s['p999_us']:.0f} us over {s['delivered']} messages "
+        f"({s['retransmitted']} retransmitted); slowest dominated by "
+        + ", ".join(f"{o['dominant_hop']} ({o['latency_us']:.0f} us, "
+                    f"{o['retransmits']} retx)" for o in tail["outliers"])
+    )
     result = {
         "id": EXPERIMENT_ID,
         "rates": rates,
         "cells": cells,
         "outages": outages,
+        "tail_latency": tail,
         "report": report,
     }
     shape_checks(result)
@@ -244,6 +284,23 @@ def shape_checks(result: Dict) -> None:
         check(outage["retransmitted"] > 0,
               f"{protocol}: the outage was survived by retransmission",
               str(outage["retransmitted"]))
+
+    tail = result.get("tail_latency")
+    if tail is not None:
+        s = tail["summary"]
+        check(s["delivered"] == s["messages"],
+              "tail-latency run: every message's journey completed",
+              f"{s['delivered']}/{s['messages']}")
+        check(s["p50_us"] <= s["p99_us"] <= s["p999_us"],
+              "tail-latency percentiles are ordered p50 <= p99 <= p99.9",
+              f"{s['p50_us']:.0f} / {s['p99_us']:.0f} / {s['p999_us']:.0f}")
+        check(s["retransmitted"] > 0,
+              "burst loss produced at least one retransmit-genealogy child",
+              str(s["retransmitted"]))
+        for o in tail["outliers"]:
+            check(bool(o["dominant_hop"]),
+                  "every explained outlier names a dominant hop",
+                  str(o))
 
 
 if __name__ == "__main__":

@@ -132,20 +132,30 @@ class Nic:
         """Link-side entry point: a frame has fully arrived (channel sink)."""
         self.counters.add("rx_frames")
         self.counters.add("rx_bytes", frame.payload_bytes)
+        journeys = self.tracer.journeys
         if frame.corrupted:
             # Ethernet CRC check in NIC hardware: a damaged frame never
             # reaches the host — the reliability layer must retransmit.
             self.counters.add("rx_crc_drops")
+            if journeys is not None:
+                journeys.hop(frame.payload, "nic_drop", self.name, reason="crc")
             return
         if frame.payload_bytes > self.params.effective_mtu():
             # Jumbo interoperability (paper §2: "both communicating
             # computers have to use Jumbo frames"): an oversized frame is
             # dropped by a standard-MTU receiver.
             self.counters.add("rx_oversize_drops")
+            if journeys is not None:
+                journeys.hop(frame.payload, "nic_drop", self.name, reason="oversize")
             return
         if len(self._rx_buffer) >= self.params.rx_ring_slots:
             self.counters.add("rx_drops")
+            if journeys is not None:
+                journeys.hop(frame.payload, "nic_drop", self.name, reason="overflow")
             return
+        if journeys is not None:
+            journeys.hop(frame.payload, "nic_rx", self.name,
+                         nbytes=frame.payload_bytes)
         rx = RxFrame(frame=frame, arrived_at=self.env.now)
         self.env.process(self._rx_process(rx), name=f"{self.name}.rx")
 
@@ -190,6 +200,10 @@ class Nic:
             span = self.tracer.begin(self.name, "nic_tx", nbytes=desc.payload_bytes)
             # Bus-master DMA: fetch the payload (plus headers) across PCI.
             yield from self.pci.dma(desc.payload_bytes, priority=2, label=f"{self.name}.tx")
+            journeys = self.tracer.journeys
+            if journeys is not None:
+                journeys.hop(desc.payload, "nic_dma", self.name,
+                             nbytes=desc.payload_bytes)
             mtu = self.params.effective_mtu()
             if desc.payload_bytes <= mtu:
                 pieces = [(desc.payload_bytes, desc.payload, True)]
@@ -225,6 +239,10 @@ class Nic:
         while True:
             frame, on_wire = yield self._tx_fifo.get()
             yield from self._tx_channel.transmit(frame)
+            journeys = self.tracer.journeys
+            if journeys is not None:
+                journeys.hop(frame.payload, "wire", self.name,
+                             nbytes=frame.payload_bytes)
             self.counters.add("tx_frames")
             self.counters.add("tx_bytes", frame.payload_bytes)
             if on_wire is not None:

@@ -59,12 +59,22 @@ class SwitchPort:
     def enqueue(self, frame: Frame) -> None:
         """Queue a frame for egress; drop (counted) if the queue is full
         or the port is blacked out."""
+        journeys = self.switch._journeys()
         if self.blackouts and self.in_blackout(self.switch.env.now):
             self.switch.counters.add("blackout_drops")
+            if journeys is not None:
+                journeys.hop(frame.payload, "switch_drop", "switch",
+                             port=self.index, reason="blackout")
             return
         if len(self.queue.items) >= self.queue.capacity:
             self.switch.counters.add("drops")
+            if journeys is not None:
+                journeys.hop(frame.payload, "switch_drop", "switch",
+                             port=self.index, reason="overflow")
             return
+        if journeys is not None:
+            journeys.hop(frame.payload, "switch", "switch",
+                         port=self.index, depth=len(self.queue.items))
         self.queue.put(frame)
 
 
@@ -77,6 +87,7 @@ class Switch:
         link_params: LinkParams,
         forward_ns: float = DEFAULT_FORWARD_NS,
         queue_frames: int = 512,
+        tracer=None,
     ):
         self.env = env
         self.link_params = link_params
@@ -85,6 +96,12 @@ class Switch:
         self.ports: List[SwitchPort] = []
         self._mac_table: Dict[MacAddress, SwitchPort] = {}
         self.counters = Counters()
+        #: optional :class:`repro.obs.Tracer`; only its ``journeys``
+        #: attribute is consulted (the switch emits no spans)
+        self.tracer = tracer
+
+    def _journeys(self):
+        return self.tracer.journeys if self.tracer is not None else None
 
     def attach(self, egress: Channel, mac: MacAddress) -> SwitchPort:
         """Create a port transmitting on ``egress``, owning ``mac``.

@@ -8,13 +8,18 @@ reports its numbers through the instruments here:
 * :mod:`repro.obs.span` — span-based structured tracing (``begin``/
   ``end`` with parent links and per-node/per-subsystem scopes such as
   ``node0.clic``), layered on the flat :class:`repro.sim.Trace`;
+* :mod:`repro.obs.journey` — per-message causal tracing: every message
+  followed send → fragment → wire → reassembly → deliver as a
+  :class:`Journey` with per-hop waterfalls and retransmit genealogy;
 * :mod:`repro.obs.metrics` — typed instruments (:class:`Counter`,
-  :class:`Gauge`, :class:`Histogram` with streaming p50/p95/p99) behind
-  a :class:`MetricsRegistry`;
+  :class:`Gauge`, :class:`Histogram` with streaming p50/p95/p99/p99.9,
+  :class:`TimeSeries` sampled on a cadence by
+  :class:`TimeSeriesSampler`) behind a :class:`MetricsRegistry`;
 * :mod:`repro.obs.profile` — event-loop profiling hooks for
   :class:`repro.sim.Environment` (events per process, queue high-water);
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto /
-  ``chrome://tracing``) and the per-run :class:`RunArtifact` JSON.
+  ``chrome://tracing``; spans as slices, journeys as flow events, time
+  series as counters) and the per-run :class:`RunArtifact` JSON.
 
 The package deliberately imports nothing from :mod:`repro.sim` so the
 simulation kernel can build *on top of* the instruments (``repro.sim``
@@ -29,24 +34,39 @@ from .analyze import (
     SpanNode,
     attribution_table,
     critical_path,
+    explain_outliers,
     fig7_stage_durations,
+    journey_latency_summary,
+    journey_waterfall,
     layer_attribution,
+    outlier_report,
     scope_stats,
     span_tree,
     summary_table,
+    waterfall_table,
 )
 from .diff import Delta, RunDiff, flatten_numeric
 from .export import (
     RUN_SCHEMA,
     RUN_SCHEMA_V1,
+    RUN_SCHEMA_V2,
     RunArtifact,
     chrome_trace_events,
     chrome_trace_json,
     jsonable,
     records_of,
     spans_of,
+    timeseries_of,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .journey import HOP_CHAIN, Journey, JourneyProbe, JourneyRecorder, packet_key
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    TimeSeriesSampler,
+)
 from .profile import EnvProfiler, aggregate_profiles
 from .span import NULL_SPAN, Instant, Span, Tracer
 
@@ -56,32 +76,46 @@ __all__ = [
     "Delta",
     "EnvProfiler",
     "Gauge",
+    "HOP_CHAIN",
     "Histogram",
     "Instant",
+    "Journey",
+    "JourneyProbe",
+    "JourneyRecorder",
     "LAYERS",
     "MetricsRegistry",
     "NULL_SPAN",
     "PathSegment",
     "RUN_SCHEMA",
     "RUN_SCHEMA_V1",
+    "RUN_SCHEMA_V2",
     "RunArtifact",
     "RunDiff",
     "ScopeStat",
     "Span",
     "SpanNode",
+    "TimeSeries",
+    "TimeSeriesSampler",
     "Tracer",
     "aggregate_profiles",
     "attribution_table",
     "chrome_trace_events",
     "chrome_trace_json",
     "critical_path",
+    "explain_outliers",
     "fig7_stage_durations",
     "flatten_numeric",
+    "journey_latency_summary",
+    "journey_waterfall",
     "jsonable",
     "layer_attribution",
+    "outlier_report",
+    "packet_key",
     "records_of",
     "scope_stats",
     "span_tree",
     "spans_of",
     "summary_table",
+    "timeseries_of",
+    "waterfall_table",
 ]

@@ -20,17 +20,27 @@ into exactly those budgets:
   NIC/wire) the paper argues about;
 * :func:`fig7_stage_durations` — regroup the path's segments into the
   five classic Figure-7 stages so the span-derived budget can be
-  cross-checked against :mod:`repro.experiments.fig7`.
+  cross-checked against :mod:`repro.experiments.fig7`;
+* :func:`journey_waterfall` / :func:`explain_outliers` /
+  :func:`journey_latency_summary` — the per-message view: turn a
+  :class:`~repro.obs.journey.Journey` export dict into a waterfall of
+  per-hop latencies (telescoping, so segments sum exactly to the
+  end-to-end latency) and name the dominant hop — and whether loss /
+  retransmission was involved — for the p99/p99.9 journeys of a run.
 
 Everything operates on the *plain dict* export forms (``Span.to_dict``
-/ trace-record dicts), so a :class:`~repro.obs.RunArtifact` loaded from
-disk can be analyzed without live simulator objects.
+/ ``Journey.to_dict`` / trace-record dicts), so a
+:class:`~repro.obs.RunArtifact` loaded from disk can be analyzed
+without live simulator objects.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .journey import HOP_CHAIN
 
 
 def _format_table(headers, rows, title=None):
@@ -52,11 +62,16 @@ __all__ = [
     "SpanNode",
     "attribution_table",
     "critical_path",
+    "explain_outliers",
     "fig7_stage_durations",
+    "journey_latency_summary",
+    "journey_waterfall",
     "layer_attribution",
+    "outlier_report",
     "scope_stats",
     "span_tree",
     "summary_table",
+    "waterfall_table",
 ]
 
 #: the layers of the paper's overhead budget, top of the stack first
@@ -396,3 +411,153 @@ def fig7_stage_durations(path: CriticalPath) -> Dict[str, float]:
             raise KeyError(f"hop {seg.name!r} has no Figure-7 stage mapping")
         out[stage] = out.get(stage, 0.0) + seg.duration_ns
     return out
+
+
+# ---------------------------------------------------------------------------
+# message journeys: waterfalls, latency summaries, outlier explanation
+# ---------------------------------------------------------------------------
+
+def _exact_percentile(sorted_vals: Sequence[float], p: float) -> float:
+    """Exact (nearest-rank) percentile of an ascending-sorted sequence."""
+    if not sorted_vals:
+        return 0.0
+    rank = math.ceil(p / 100.0 * len(sorted_vals))
+    rank = min(max(rank, 1), len(sorted_vals))
+    return sorted_vals[rank - 1]
+
+
+def journey_waterfall(journey: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-hop latency segments of a delivered journey.
+
+    Follows the *delivering fragment* — the packet whose reassembly
+    completed the message — through :data:`~repro.obs.journey.HOP_CHAIN`,
+    anchoring each hop at its last matching event at or before delivery
+    (so for a retransmitted fragment, the copy that actually arrived).
+    Segment durations telescope between consecutive anchors; because
+    ``send`` anchors at ``start_ns`` and ``deliver`` at ``end_ns``, they
+    sum *exactly* to the end-to-end latency.  A duplicate arrival can
+    make an individual segment negative; the sum still telescopes.
+    """
+    if not journey.get("delivered"):
+        raise ValueError(f"journey {journey.get('id')} not delivered")
+    events = journey["events"]
+    deliver_ev = None
+    for ev in events:
+        if ev["hop"] == "deliver":
+            deliver_ev = ev
+    if deliver_ev is None:
+        raise ValueError(f"journey {journey.get('id')} has no deliver event")
+    pkt = deliver_ev.get("pkt")
+    end_ns = journey["end_ns"]
+    segments: List[Dict[str, Any]] = []
+    prev = journey["start_ns"]
+    for hop in HOP_CHAIN:
+        anchor = None
+        for ev in events:
+            if ev["hop"] != hop or ev["t"] > end_ns:
+                continue
+            ev_pkt = ev.get("pkt")
+            if ev_pkt is not None and pkt is not None and ev_pkt != pkt:
+                continue
+            anchor = ev
+        if anchor is None:
+            continue  # hop not instrumented / skipped on this path
+        segments.append({
+            "hop": hop,
+            "scope": anchor["scope"],
+            "t_ns": anchor["t"],
+            "dur_ns": anchor["t"] - prev,
+        })
+        prev = anchor["t"]
+    return segments
+
+
+def journey_latency_summary(journeys: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """p50/p99/p99.9 (exact, nearest-rank) latency summary of a run's
+    journeys, plus delivery and retransmission counts."""
+    journeys = list(journeys)
+    delivered = [j for j in journeys if j.get("delivered")]
+    lats = sorted(j["end_ns"] - j["start_ns"] for j in delivered)
+    return {
+        "messages": len(journeys),
+        "delivered": len(delivered),
+        "retransmitted": sum(1 for j in delivered if j.get("retransmits")),
+        "p50_us": _exact_percentile(lats, 50.0) / 1000.0,
+        "p99_us": _exact_percentile(lats, 99.0) / 1000.0,
+        "p999_us": _exact_percentile(lats, 99.9) / 1000.0,
+        "min_us": (lats[0] / 1000.0) if lats else 0.0,
+        "max_us": (lats[-1] / 1000.0) if lats else 0.0,
+        "mean_us": (sum(lats) / len(lats) / 1000.0) if lats else 0.0,
+    }
+
+
+def explain_outliers(journeys: Sequence[Dict[str, Any]],
+                     top: int = 5) -> List[Dict[str, Any]]:
+    """Explain the ``top`` slowest delivered journeys of a run.
+
+    Each explanation names the dominant hop (the largest waterfall
+    segment), its share of the end-to-end latency, the percentile band
+    the journey sits in (``p99.9`` / ``p99`` / ``p<99``, exact
+    nearest-rank thresholds over the whole run), and whether loss drove
+    it there (retransmit count + kinds).  Ties break on journey id, so
+    the report is deterministic under a fixed seed.
+    """
+    delivered = [j for j in journeys if j.get("delivered")]
+    lats = sorted(j["end_ns"] - j["start_ns"] for j in delivered)
+    p99 = _exact_percentile(lats, 99.0)
+    p999 = _exact_percentile(lats, 99.9)
+    ranked = sorted(delivered,
+                    key=lambda j: (-(j["end_ns"] - j["start_ns"]), j["id"]))
+    out: List[Dict[str, Any]] = []
+    for j in ranked[:top]:
+        lat = j["end_ns"] - j["start_ns"]
+        segments = journey_waterfall(j)
+        dominant = max(segments, key=lambda s: s["dur_ns"]) if segments else None
+        kinds = sorted({r["kind"] for r in j.get("retransmits", ())})
+        out.append({
+            "id": j["id"],
+            "key": j["key"],
+            "latency_us": lat / 1000.0,
+            "band": "p99.9" if lat >= p999 else ("p99" if lat >= p99 else "p<99"),
+            "dominant_hop": dominant["hop"] if dominant else None,
+            "dominant_us": (dominant["dur_ns"] / 1000.0) if dominant else 0.0,
+            "dominant_share": (dominant["dur_ns"] / lat) if dominant and lat else 0.0,
+            "retransmits": len(j.get("retransmits", ())),
+            "retransmit_kinds": kinds,
+            "fragments": j.get("fragments", 0),
+        })
+    return out
+
+
+def waterfall_table(journey: Dict[str, Any]) -> str:
+    """Render one journey's waterfall as a human-readable table."""
+    segments = journey_waterfall(journey)
+    total = journey["end_ns"] - journey["start_ns"]
+    rows = [
+        (seg["hop"], seg["scope"], round(seg["t_ns"] / 1000.0, 3),
+         round(seg["dur_ns"] / 1000.0, 3),
+         round(seg["dur_ns"] / total * 100.0, 1) if total else 0.0)
+        for seg in segments
+    ]
+    rows.append(("TOTAL", "", round(journey["end_ns"] / 1000.0, 3),
+                 round(total / 1000.0, 3), 100.0))
+    title = (f"Journey #{journey['id']} {journey['key']} "
+             f"({journey['nbytes']} B, {journey.get('fragments', 0)} fragments, "
+             f"{len(journey.get('retransmits', ()))} retransmits)")
+    return _format_table(["hop", "scope", "t us", "dur us", "%"], rows,
+                         title=title)
+
+
+def outlier_report(journeys: Sequence[Dict[str, Any]], top: int = 5) -> str:
+    """Render :func:`explain_outliers` as a human-readable table."""
+    rows = [
+        (o["id"], o["key"], round(o["latency_us"], 3), o["band"],
+         o["dominant_hop"] or "-", round(o["dominant_us"], 3),
+         f"{o['dominant_share'] * 100.0:.1f}%",
+         o["retransmits"], ",".join(o["retransmit_kinds"]) or "-")
+        for o in explain_outliers(journeys, top=top)
+    ]
+    return _format_table(
+        ["journey", "key", "us", "band", "dominant hop", "hop us", "share",
+         "retx", "kinds"],
+        rows, title=f"Top {len(rows)} slowest journeys")

@@ -1,11 +1,16 @@
 """Exporters: Chrome ``trace_event`` JSON and the per-run artifact.
 
-* :func:`chrome_trace_events` converts spans + trace records into the
+* :func:`chrome_trace_events` converts spans + trace records — and,
+  when present, message journeys and time series — into the
   Chrome/Perfetto ``trace_event`` format (load the file at
   ``chrome://tracing`` or https://ui.perfetto.dev).  Scopes such as
   ``node1.eth0`` map to process ``node1`` / thread ``eth0``; pid/tid
   integers are assigned deterministically (sorted first-appearance), so
-  two runs with the same seed produce byte-identical exports.
+  two runs with the same seed produce byte-identical exports.  Journeys
+  export as flow events (``ph: "s"/"t"/"f"`` — the viewer draws message
+  arrows hop to hop) with the journey id as the flow id; time series
+  export as counter events (``ph: "C"`` — rendered as filled queue
+  graphs), ordered by series name then sample time.
 * :class:`RunArtifact` is the machine-readable JSON every experiment in
   the registry can write (``python -m repro.experiments fig7 --json``):
   schema-tagged, with the result dict, metrics snapshot, optional
@@ -25,18 +30,22 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 __all__ = [
     "RUN_SCHEMA",
     "RUN_SCHEMA_V1",
+    "RUN_SCHEMA_V2",
     "RunArtifact",
     "chrome_trace_events",
     "chrome_trace_json",
     "jsonable",
     "records_of",
     "spans_of",
+    "timeseries_of",
 ]
 
-#: current artifact schema: v2 adds the aggregated EnvProfiler snapshot
-#: (``profile``) to every ``--json`` artifact (v1 left it empty unless a
-#: cluster opted in); loading still accepts v1 documents.
-RUN_SCHEMA = "repro.run/2"
+#: current artifact schema: v3 adds message journeys (``journeys``) and
+#: sampled time series (``timeseries``); v2 added the aggregated
+#: EnvProfiler snapshot (``profile``).  Loading accepts v1/v2 documents
+#: and upgrades them in place (the new fields just stay empty).
+RUN_SCHEMA = "repro.run/3"
+RUN_SCHEMA_V2 = "repro.run/2"
 RUN_SCHEMA_V1 = "repro.run/1"
 BATCH_SCHEMA = "repro.run-batch/1"
 
@@ -58,12 +67,32 @@ def records_of(trace) -> List[Dict[str, Any]]:
     ]
 
 
+def timeseries_of(metrics) -> Dict[str, Any]:
+    """All :class:`~repro.obs.metrics.TimeSeries` of a registry as export
+    dicts keyed by series name (sorted — deterministic)."""
+    out: Dict[str, Any] = {}
+    for name, metric in sorted(metrics.items()):
+        if getattr(metric, "kind", None) == "timeseries":
+            out[name] = metric.as_dict()
+    return out
+
+
 def _split_scope(scope: str) -> Tuple[str, str]:
     """``node0.kernel`` -> (process ``node0``, thread ``kernel``)."""
     if "." in scope:
         pid, tid = scope.split(".", 1)
         return pid, tid
     return scope, "main"
+
+
+def _split_series(name: str) -> Tuple[str, str]:
+    """``node0.nic0.rx_buffer_depth`` -> (scope ``node0.nic0``,
+    counter ``rx_buffer_depth``) — the scope half then feeds
+    :func:`_split_scope` like any span scope."""
+    if "." in name:
+        scope, counter = name.rsplit(".", 1)
+        return scope, counter
+    return "metrics", name
 
 
 def _scope_ids(scopes: Iterable[str]) -> Tuple[Dict[str, int], Dict[Tuple[str, str], int]]:
@@ -83,15 +112,26 @@ def _scope_ids(scopes: Iterable[str]) -> Tuple[Dict[str, int], Dict[Tuple[str, s
 def chrome_trace_events(
     spans: Iterable[Dict[str, Any]] = (),
     records: Iterable[Dict[str, Any]] = (),
+    journeys: Iterable[Dict[str, Any]] = (),
+    timeseries: Optional[Dict[str, Any]] = None,
 ) -> List[Dict[str, Any]]:
     """Build the ``traceEvents`` list from span/record export dicts.
 
     Spans become complete ("X") events with microsecond timestamps;
-    records (except span bookkeeping) become instant ("i") events.
+    records (except span bookkeeping) become instant ("i") events;
+    journeys become flow-event chains ("s"/"t"/"f", flow id = journey
+    id); time series become counter events ("C").  Output order is
+    fixed — metadata, spans, records, flows (journey order), counters
+    (sorted series name) — so exports are byte-identical across runs.
     """
     spans = list(spans)
     records = [r for r in records if r["event"] not in _SPAN_MARKERS]
+    journeys = list(journeys)
+    timeseries = dict(timeseries or {})
     scopes = [s["scope"] for s in spans] + [r["source"] for r in records]
+    for j in journeys:
+        scopes.extend(e["scope"] for e in j.get("events", ()))
+    scopes.extend(_split_series(name)[0] for name in timeseries)
     pids, tids = _scope_ids(scopes)
 
     events: List[Dict[str, Any]] = []
@@ -133,18 +173,54 @@ def chrome_trace_events(
             "ts": round(r["time"] / 1000.0, 6),
             "args": dict(r.get("detail") or {}),
         })
+    for j in journeys:
+        hops = list(j.get("events", ()))
+        for idx, ev in enumerate(hops):
+            pname, tname = _split_scope(ev["scope"])
+            ph = "s" if idx == 0 else ("f" if idx == len(hops) - 1 else "t")
+            args = {k: v for k, v in ev.items() if k not in ("t", "scope")}
+            args["journey"] = j["key"]
+            flow = {
+                "ph": ph,
+                "id": j["id"],
+                "pid": pids[pname],
+                "tid": tids[(pname, tname)],
+                "name": "journey",
+                "cat": "journey," + ev["hop"],
+                "ts": round(ev["t"] / 1000.0, 6),
+                "args": args,
+            }
+            if ph == "f":
+                flow["bp"] = "e"  # bind the flow end to the enclosing slice
+            events.append(flow)
+    for name in sorted(timeseries):
+        series = timeseries[name]
+        scope, counter = _split_series(name)
+        pname, tname = _split_scope(scope)
+        for t_ns, value in series.get("points", ()):
+            events.append({
+                "ph": "C",
+                "pid": pids[pname],
+                "tid": tids[(pname, tname)],
+                "name": counter,
+                "cat": scope,
+                "ts": round(t_ns / 1000.0, 6),
+                "args": {"value": value},
+            })
     return events
 
 
 def chrome_trace_json(
     spans: Iterable[Dict[str, Any]] = (),
     records: Iterable[Dict[str, Any]] = (),
+    journeys: Iterable[Dict[str, Any]] = (),
+    timeseries: Optional[Dict[str, Any]] = None,
     indent: Optional[int] = None,
 ) -> str:
     """The full Chrome trace document as a JSON string (deterministic)."""
     doc = {
         "displayTimeUnit": "ns",
-        "traceEvents": chrome_trace_events(spans, records),
+        "traceEvents": chrome_trace_events(spans, records, journeys, timeseries),
     }
     return json.dumps(jsonable(doc), indent=indent, sort_keys=True)
 
@@ -184,6 +260,8 @@ class RunArtifact:
     profile: Dict[str, Any] = dataclasses.field(default_factory=dict)
     spans: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
     records: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    journeys: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    timeseries: Dict[str, Any] = dataclasses.field(default_factory=dict)
     schema: str = RUN_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
@@ -201,8 +279,10 @@ class RunArtifact:
             fh.write("\n")
 
     def chrome_json(self, indent: Optional[int] = None) -> str:
-        """Chrome trace document for this artifact's spans/records."""
-        return chrome_trace_json(self.spans, self.records, indent=indent)
+        """Chrome trace document for this artifact's spans/records/
+        journeys/time series."""
+        return chrome_trace_json(self.spans, self.records, self.journeys,
+                                 self.timeseries, indent=indent)
 
     # -- loading ---------------------------------------------------------
     @classmethod
@@ -211,13 +291,14 @@ class RunArtifact:
         if not isinstance(data, dict):
             raise ValueError(f"artifact must be a JSON object, got {type(data).__name__}")
         schema = data.get("schema")
-        if schema not in (RUN_SCHEMA, RUN_SCHEMA_V1):
+        if schema not in (RUN_SCHEMA, RUN_SCHEMA_V2, RUN_SCHEMA_V1):
             raise ValueError(f"unknown artifact schema {schema!r} (want {RUN_SCHEMA!r})")
         if not data.get("experiment"):
             raise ValueError("artifact missing 'experiment'")
         fields = {f.name for f in dataclasses.fields(cls)}
         loaded = cls(**{k: v for k, v in data.items() if k in fields})
-        # v1 documents upgrade in place: same fields, profile just empty.
+        # v1/v2 documents upgrade in place: same fields, the newer
+        # ones (profile / journeys / timeseries) just stay empty.
         loaded.schema = RUN_SCHEMA
         return loaded
 

@@ -7,21 +7,35 @@ Three instrument kinds, mirroring what the experiments actually report:
 * :class:`Gauge` — a sampled level with high/low water marks (bottom-half
   queue depth, NIC rx-buffer occupancy);
 * :class:`Histogram` — log-bucketed value distribution with streaming
-  p50/p95/p99 (syscall latency, message sizes).  Bucket boundaries grow
-  geometrically by ``growth``, so every percentile estimate carries a
-  bounded *relative* error of at most ``growth - 1`` (5% by default).
+  p50/p95/p99/p99.9 (syscall latency, message sizes).  Bucket boundaries
+  grow geometrically by ``growth``, so every percentile estimate carries
+  a bounded *relative* error of at most ``growth - 1`` (5% by default);
+* :class:`TimeSeries` — a level sampled over *simulated time* (NIC
+  rx-buffer depth, tx queue length, in-flight window bytes, switch
+  occupancy), exported as Chrome counter events so chrome://tracing
+  renders the queue graphs natively.  :class:`TimeSeriesSampler` drives
+  a set of series on a configurable cadence from the event loop.
 
 A :class:`MetricsRegistry` is a flat namespace of instruments keyed by
 dotted names (``node1.kernel.syscall_ns``); one registry is shared by a
-whole cluster so a run's metrics snapshot is a single dict.
+whole cluster so a run's metrics snapshot is a single dict.  Time
+series are kept out of :meth:`MetricsRegistry.snapshot` (they are bulk
+data, exported through the artifact's dedicated ``timeseries`` field).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "TimeSeriesSampler",
+]
 
 
 class Counter:
@@ -186,6 +200,11 @@ class Histogram:
     def p99(self) -> float:
         return self.percentile(99)
 
+    @property
+    def p999(self) -> float:
+        """The 99.9th percentile (the tail the resilience work gates on)."""
+        return self.percentile(99.9)
+
     def as_dict(self) -> Dict[str, float]:
         """Snapshot form: exact moments plus streaming percentiles."""
         return {
@@ -196,10 +215,114 @@ class Histogram:
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            "p999": self.p999,
         }
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count}, p50={self.p50:.3g})"
+
+
+class TimeSeries:
+    """A level sampled over simulated time: ``(t_ns, value)`` points.
+
+    The instrument itself is passive — something (normally a
+    :class:`TimeSeriesSampler`) calls :meth:`sample` on a cadence.
+    Points are kept in sample order, which for a single-threaded
+    discrete-event simulation is time order.
+    """
+
+    __slots__ = ("name", "unit", "points")
+
+    kind = "timeseries"
+
+    def __init__(self, name: str = "", unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.points: List[Tuple[float, float]] = []
+
+    def sample(self, t_ns: float, value: float) -> None:
+        """Append one ``(time, level)`` observation."""
+        self.points.append((t_ns, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Export form: unit plus the raw point list."""
+        return {
+            "unit": self.unit,
+            "count": len(self.points),
+            "points": [[t, v] for t, v in self.points],
+        }
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, n={len(self.points)})"
+
+
+class TimeSeriesSampler:
+    """Samples a set of gauges into :class:`TimeSeries` on a cadence.
+
+    ``env`` is duck-typed: only ``.now`` and ``.call_later(delay, fn)``
+    are used, so the sampler works with any event loop exposing timer
+    callbacks.  Probe callables read simulation state and must not
+    mutate it — the sampler's timer events interleave with (but never
+    reorder or perturb) the simulated workload, so a sampled run's
+    simulated results are identical to an unsampled one.
+
+    The sampler re-arms itself until :meth:`stop` is called (do that
+    after ``env.run(...)`` returns) or ``max_samples`` ticks have
+    fired — the cap keeps an accidentally-leaked sampler from pinning
+    an until-queue-empty run alive forever.
+    """
+
+    def __init__(self, env: Any, interval_ns: float = 50_000.0,
+                 max_samples: int = 100_000):
+        if interval_ns <= 0:
+            raise ValueError(f"interval_ns must be positive (got {interval_ns!r})")
+        self.env = env
+        self.interval_ns = interval_ns
+        self.max_samples = max_samples
+        self._probes: List[Tuple[TimeSeries, Callable[[], float]]] = []
+        self._ticks = 0
+        self._stopped = False
+        self._started = False
+
+    def add(self, series: TimeSeries, probe: Callable[[], float]) -> TimeSeries:
+        """Register ``probe`` to feed ``series`` each tick."""
+        self._probes.append((series, probe))
+        return series
+
+    def start(self) -> None:
+        """Take the first sample now and re-arm every ``interval_ns``."""
+        if self._started:
+            raise RuntimeError("sampler already started")
+        self._started = True
+        self._sample_all()
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop sampling; a pending timer becomes a no-op."""
+        self._stopped = True
+
+    @property
+    def ticks(self) -> int:
+        """Number of sampling rounds taken so far."""
+        return self._ticks
+
+    def _sample_all(self) -> None:
+        now = self.env.now
+        for series, probe in self._probes:
+            series.sample(now, float(probe()))
+        self._ticks += 1
+
+    def _arm(self) -> None:
+        self.env.call_later(self.interval_ns, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped or self._ticks >= self.max_samples:
+            return
+        self._sample_all()
+        self._arm()
 
 
 class MetricsRegistry:
@@ -237,6 +360,10 @@ class MetricsRegistry:
         """Get or create the histogram called ``name``."""
         return self._get(name, Histogram, growth)
 
+    def timeseries(self, name: str, unit: str = "") -> TimeSeries:
+        """Get or create the time series called ``name``."""
+        return self._get(name, TimeSeries, unit)
+
     # -- introspection ---------------------------------------------------
     def peek(self, name: str):
         """The instrument called ``name``, or ``None`` (never creates)."""
@@ -251,8 +378,14 @@ class MetricsRegistry:
         return iter(sorted(self._instruments.items()))
 
     def snapshot(self) -> Dict[str, object]:
-        """name -> plain value (counters) or stats dict, sorted by name."""
-        return {name: inst.as_dict() for name, inst in self.items()}
+        """name -> plain value (counters) or stats dict, sorted by name.
+
+        Time series are excluded: they are bulk data, exported through
+        the artifact's dedicated ``timeseries`` field (see
+        :func:`repro.obs.export.timeseries_of`).
+        """
+        return {name: inst.as_dict() for name, inst in self.items()
+                if not isinstance(inst, TimeSeries)}
 
     def reset(self) -> None:
         """Drop every instrument."""

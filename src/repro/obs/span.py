@@ -160,6 +160,11 @@ class Tracer:
         self.trace = trace
         #: explicit override; when None, follows ``trace.enabled``
         self._enabled = enabled
+        #: optional :class:`repro.obs.journey.JourneyRecorder`; ``None``
+        #: (the default) disables journey capture — instrumented hop
+        #: sites check this attribute inline, independent of span
+        #: tracing, so journeys can be on while spans are off
+        self.journeys = None
         self._seq = 0
         #: every span ever begun, in begin order (deterministic ids)
         self.spans: List[Span] = []

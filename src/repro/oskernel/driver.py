@@ -108,6 +108,9 @@ class VendorDriver:
                 # Figure 8(b): no sk_buff staging; DMA lands where the
                 # module directs (user memory if a receiver waits).
                 rx = yield from cpu.occupy(self.nic.dma_frame_to_host(), PRIO_IRQ, label="drv_rx_dma")
+                journeys = self.tracer.journeys
+                if journeys is not None:
+                    journeys.hop(rx.frame.payload, "irq", self.name, direct=True)
                 skb = SkBuff(
                     payload_bytes=rx.frame.payload_bytes,
                     fragments=[(SYSTEM_MEMORY, rx.frame.payload_bytes)] if rx.frame.payload_bytes else [],
@@ -125,6 +128,9 @@ class VendorDriver:
                 # with the CPU captive, defer protocol work to a BH.
                 yield from cpu.execute(self.params.rx_per_frame_ns, PRIO_IRQ, label="drv_rx_skb")
                 rx = yield from cpu.occupy(self.nic.dma_frame_to_host(), PRIO_IRQ, label="drv_rx_dma")
+                journeys = self.tracer.journeys
+                if journeys is not None:
+                    journeys.hop(rx.frame.payload, "irq", self.name, direct=False)
                 skb = SkBuff(
                     payload_bytes=rx.frame.payload_bytes,
                     fragments=[(SYSTEM_MEMORY, rx.frame.payload_bytes)] if rx.frame.payload_bytes else [],

@@ -208,6 +208,65 @@ def _scenario_resilience(quick: bool) -> Tuple[Dict, Dict]:
     return gates, metrics
 
 
+def _scenario_journey(quick: bool) -> Tuple[Dict, Dict]:
+    """Journey-tracing purity: on-vs-off must not perturb the simulation.
+
+    Runs the same burst-loss CLIC stream twice — journeys disabled, then
+    enabled — and *errors out* (like the fig7 cross-check) if the
+    simulated results, the metrics snapshot, or the event-loop profile
+    differ at all: the observability layer must observe, never perturb.
+    The gates then track the traced run's cost like any other scenario.
+    """
+    from dataclasses import replace
+
+    from ..cluster import Cluster
+    from ..config import granada2003
+    from ..faults import FaultPlan
+    from ..obs import JourneyProbe, JourneyRecorder, jsonable as _jsonable
+    from ..workloads import clic_pair, stream
+
+    nbytes, messages = (65_536, 8) if quick else (262_144, 16)
+
+    def one(with_journeys: bool):
+        cfg = replace(granada2003(mtu=1500), seed=42)
+        cluster = Cluster(cfg, protocols=("clic",),
+                          faults=FaultPlan.bursty(0.02, mean_burst_frames=8.0,
+                                                  loss_bad=1.0))
+        recorder = probe = None
+        if with_journeys:
+            recorder = JourneyRecorder(cluster.env)
+            cluster.tracer.journeys = recorder
+            probe = JourneyProbe.install(recorder)
+        try:
+            res = stream(cluster, clic_pair(), nbytes, messages=messages)
+        finally:
+            if probe is not None:
+                probe.uninstall()
+        snapshot = json.dumps(_jsonable(cluster.metrics.snapshot()), sort_keys=True)
+        return res, snapshot, recorder
+
+    res_off, snap_off, _ = one(False)
+    res_on, snap_on, recorder = one(True)
+    if (res_off.elapsed_ns, res_off.nbytes_total) != (res_on.elapsed_ns, res_on.nbytes_total):
+        raise ValueError(
+            "journey tracing perturbed the simulation: "
+            f"off={res_off.elapsed_ns} ns, on={res_on.elapsed_ns} ns")
+    if snap_off != snap_on:
+        raise ValueError("journey tracing perturbed the metrics snapshot")
+
+    delivered = recorder.delivered()
+    gates = {
+        "goodput_mbps": _gate(res_on.bandwidth_mbps, "higher", RESILIENCE_TOLERANCE),
+        "journeys_delivered": _gate(float(len(delivered)), "higher"),
+    }
+    metrics = {
+        "journeys": len(recorder),
+        "retransmitted_journeys": sum(1 for j in delivered if j.retransmits),
+        "journey_events": sum(len(j.events) for j in delivered),
+    }
+    return gates, metrics
+
+
 #: scenario name -> runner(quick) -> (gates, metrics); pinned order
 SCENARIOS: List[Tuple[str, Callable[[bool], Tuple[Dict, Dict]]]] = [
     ("headline", _scenario_headline),
@@ -215,6 +274,7 @@ SCENARIOS: List[Tuple[str, Callable[[bool], Tuple[Dict, Dict]]]] = [
     ("fig5", _scenario_fig5),
     ("fig7", _scenario_fig7),
     ("resilience", _scenario_resilience),
+    ("journey", _scenario_journey),
 ]
 
 

@@ -253,6 +253,9 @@ class ClicModule:
         msg_id = next(self._msg_ids)
         span = self.tracer.begin(self.scope, "clic_send",
                                  dst=dst_node, nbytes=nbytes, msg=msg_id)
+        journeys = self.tracer.journeys
+        if journeys is not None:
+            journeys.begin(self.node_id, msg_id, dst_node, port, nbytes, self.scope)
         sender = self._sender(dst_node)
         if remote_write:
             ptype = ClicPacketType.REMOTE_WRITE
@@ -273,6 +276,8 @@ class ClicModule:
                 payload=payload,
             )
             pkt.seq = sender.register(pkt)
+            if journeys is not None:
+                journeys.fragment(pkt, self.scope)
             yield from self._tx_packet(pkt)
         self.counters.add("msgs_sent")
         self.counters.add("bytes_sent", nbytes)
@@ -341,6 +346,9 @@ class ClicModule:
             skb = SkBuff.for_system_payload(pkt.frag_bytes, payload=pkt)
         skb.push_header("clic", self.params.header_bytes)
         accepted = yield from driver.transmit(skb, mac, EtherType.CLIC)
+        journeys = self.tracer.journeys
+        if journeys is not None:
+            journeys.tx(pkt, self.scope, accepted)
         if accepted:
             self.counters.add("pkts_tx")
             span.end(accepted=True)
@@ -427,6 +435,9 @@ class ClicModule:
         self.tracer.instant(
             self.scope, "module_rx", pkt=pkt.packet_id, nbytes=pkt.frag_bytes,
         )
+        journeys = self.tracer.journeys
+        if journeys is not None:
+            journeys.hop(pkt, "bh", self.scope, direct=skb.direct_delivery)
         pkt._direct_delivery = skb.direct_delivery  # Figure 8(b) path
         if pkt.ptype is ClicPacketType.BCAST:
             self._rx_ready.append(pkt)  # unreliable: no sequencing
@@ -476,10 +487,16 @@ class ClicModule:
             yield from self.kernel.copy_system_to_user(pkt.frag_bytes, PRIO_SOFTIRQ)
 
         partial.received += pkt.frag_bytes
+        journeys = self.tracer.journeys
+        if journeys is not None:
+            journeys.hop(pkt, "reassembly", self.scope,
+                         received=partial.received, total=partial.msg_bytes)
         if partial.received < partial.msg_bytes or (partial.msg_bytes == 0 and not pkt.is_last_fragment):
             return
         # Message complete.
         del self._partials[key]
+        if journeys is not None:
+            journeys.deliver(pkt, self.scope, nbytes=partial.msg_bytes)
         if pkt.ptype is ClicPacketType.KERNEL_FN:
             handler = self._kernel_fns.get(pkt.tag)
             if handler is None:

@@ -8,6 +8,13 @@ exporter adds one synthetic complete span per Figure-7 pipeline stage
 (scope ``fig7.pipeline``), so the paper's stage breakdown is directly
 visible as a lane in the viewer.
 
+The ``fig4-point`` experiment instead captures one bulk-transfer run
+with *journey tracing* on: every message is followed send → fragment →
+wire → switch → IRQ → reassembly → deliver (with retransmit genealogy
+under injected loss), queue depths are sampled as time series, and the
+Chrome export contains flow events (message arrows) plus counter
+events (queue graphs).
+
 Typical invocations::
 
     python -m repro.trace --chrome -o fig7.trace.json
@@ -15,6 +22,8 @@ Typical invocations::
     python -m repro.trace --summary --top 10
     python -m repro.trace --artifact fig7.artifact.json
     python -m repro.trace --input fig7.artifact.json --chrome
+    python -m repro.trace --experiment fig4-point --loss 0.02 --outliers 5
+    python -m repro.trace --experiment fig4-point --journey 3
 
 ``--source``/``--event`` filter the exported records (and, for
 ``--source``, the spans) by scope prefix / event name.
@@ -27,9 +36,18 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from .obs import RunArtifact, chrome_trace_json, records_of, spans_of
+from .obs import (
+    RunArtifact,
+    chrome_trace_json,
+    journey_latency_summary,
+    outlier_report,
+    records_of,
+    spans_of,
+    timeseries_of,
+    waterfall_table,
+)
 
-__all__ = ["PIPELINE_SCOPE", "capture_fig7", "main"]
+__all__ = ["PIPELINE_SCOPE", "capture_fig4_point", "capture_fig7", "main"]
 
 #: scope of the synthetic per-stage spans added on top of component spans
 PIPELINE_SCOPE = "fig7.pipeline"
@@ -84,6 +102,97 @@ def capture_fig7(direct: bool = False) -> RunArtifact:
     )
 
 
+def capture_fig4_point(
+    nbytes: int = 1_000_000,
+    messages: int = 4,
+    loss: float = 0.02,
+    loss_model: str = "ge",
+    seed: int = 42,
+    sample_ns: float = 50_000.0,
+) -> RunArtifact:
+    """One fig4-style bulk transfer with journey tracing + telemetry on.
+
+    Runs ``messages`` x ``nbytes`` over CLIC on the Granada testbed
+    (MTU 1500) with injected loss (``ge`` = Gilbert–Elliott bursts,
+    ``uniform`` = Bernoulli), capturing every message's journey, the
+    retransmit genealogy, and queue-depth time series sampled every
+    ``sample_ns``.  Span tracing stays *off* — journeys are the
+    per-message instrument and keep a 1 MB capture tractable.  The
+    returned artifact is bit-reproducible under a fixed seed.
+    """
+    import dataclasses
+
+    from .cluster import Cluster
+    from .config import granada2003
+    from .faults import FaultPlan
+    from .obs import JourneyProbe, JourneyRecorder, TimeSeriesSampler
+    from .workloads.adapters import clic_pair
+    from .workloads.pingpong import stream
+
+    if loss_model == "ge":
+        faults = FaultPlan.bursty(loss, mean_burst_frames=8.0, loss_bad=1.0)
+    elif loss_model == "uniform":
+        faults = FaultPlan.uniform(loss)
+    else:
+        raise ValueError(f"unknown loss model {loss_model!r} (want ge|uniform)")
+
+    cfg = dataclasses.replace(granada2003(mtu=1500), seed=seed)
+    cluster = Cluster(cfg, protocols=("clic",),
+                      faults=faults if loss > 0 else None)
+    recorder = JourneyRecorder(cluster.env)
+    cluster.tracer.journeys = recorder
+    probe = JourneyProbe.install(recorder)
+    sampler = TimeSeriesSampler(cluster.env, interval_ns=sample_ns)
+    for node in cluster.nodes:
+        for nic in node.nics:
+            # the NIC already owns a gauge called rx_buffer_depth, so the
+            # sampled series takes a sibling name
+            sampler.add(
+                cluster.metrics.timeseries(f"{nic.name}.rx_depth", "frames"),
+                lambda nic=nic: len(nic._rx_buffer))
+            sampler.add(
+                cluster.metrics.timeseries(f"{nic.name}.tx_queue", "frames"),
+                lambda nic=nic: len(nic._tx_ring.items) + len(nic._tx_fifo.items))
+        if node.clic is not None:
+            sampler.add(
+                cluster.metrics.timeseries(f"{node.name}.clic.inflight_bytes", "bytes"),
+                lambda mod=node.clic: sum(
+                    pkt.frag_bytes
+                    for sender in mod._senders.values()
+                    for pkt in sender._in_flight.values()))
+    for port in cluster.switch.ports:
+        sampler.add(
+            cluster.metrics.timeseries(f"switch.port{port.index}.queue", "frames"),
+            lambda port=port: len(port.queue.items))
+    sampler.start()
+    try:
+        res = stream(cluster, clic_pair(), nbytes, messages=messages)
+    finally:
+        sampler.stop()
+        probe.uninstall()
+    journeys = recorder.as_dicts()
+    profiler = cluster.env.profiler
+    return RunArtifact(
+        experiment="fig4.point",
+        result={
+            "nbytes": nbytes,
+            "messages": messages,
+            "loss": loss,
+            "loss_model": loss_model if loss > 0 else "none",
+            "seed": seed,
+            "elapsed_ns": res.elapsed_ns,
+            "goodput_mbps": res.nbytes_total * 8 / (res.elapsed_ns / 1e9) / 1e6,
+            "latency": journey_latency_summary(journeys),
+        },
+        metrics=cluster.metrics.snapshot(),
+        profile=profiler.snapshot() if profiler is not None else {},
+        spans=spans_of(cluster.tracer),
+        records=records_of(cluster.trace),
+        journeys=journeys,
+        timeseries=timeseries_of(cluster.metrics),
+    )
+
+
 def _filtered(artifact: RunArtifact, source: Optional[str], event: Optional[str]):
     """(spans, records) with the --source/--event filters applied."""
     spans, records = artifact.spans, artifact.records
@@ -117,12 +226,42 @@ def main(argv=None) -> int:
         description="Capture a traced run and export spans/records",
     )
     parser.add_argument(
-        "--experiment", choices=["fig7"], default="fig7",
-        help="experiment to capture (only fig7 carries a traced pipeline)",
+        "--experiment", choices=["fig7", "fig4-point"], default="fig7",
+        help="experiment to capture: fig7 (traced single packet) or "
+             "fig4-point (bulk transfer with journey tracing + telemetry)",
     )
     parser.add_argument(
         "--variant", choices=["stock", "direct"], default="stock",
         help="fig7 variant: stock bottom-half path or direct Figure 8(b)",
+    )
+    parser.add_argument(
+        "--nbytes", type=int, default=1_000_000,
+        help="fig4-point: message size in bytes (default 1 MB)",
+    )
+    parser.add_argument(
+        "--messages", type=int, default=4,
+        help="fig4-point: number of messages to stream (default 4)",
+    )
+    parser.add_argument(
+        "--loss", type=float, default=0.02,
+        help="fig4-point: average frame loss rate (default 0.02)",
+    )
+    parser.add_argument(
+        "--loss-model", choices=["ge", "uniform"], default="ge",
+        help="fig4-point: Gilbert–Elliott bursts (ge) or Bernoulli (uniform)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42,
+        help="fig4-point: cluster RNG seed (default 42)",
+    )
+    parser.add_argument(
+        "--journey", type=int, default=None, metavar="ID",
+        help="print one message's per-hop waterfall instead of Chrome JSON",
+    )
+    parser.add_argument(
+        "--outliers", type=int, default=None, metavar="N",
+        help="print the top-N slowest journeys with dominant-hop "
+             "attribution instead of Chrome JSON",
     )
     parser.add_argument(
         "--input", metavar="PATH", default=None,
@@ -164,6 +303,10 @@ def main(argv=None) -> int:
             artifact = RunArtifact.load(args.input)
         except FileNotFoundError:
             parser.error(f"--input: no such file: {args.input}")
+    elif args.experiment == "fig4-point":
+        artifact = capture_fig4_point(
+            nbytes=args.nbytes, messages=args.messages, loss=args.loss,
+            loss_model=args.loss_model, seed=args.seed)
     else:
         artifact = capture_fig7(direct=args.variant == "direct")
 
@@ -172,7 +315,22 @@ def main(argv=None) -> int:
         print(f"wrote {args.artifact}", file=sys.stderr)
 
     spans, records = _filtered(artifact, args.source, args.event)
-    if args.spans:
+    if args.journey is not None or args.outliers is not None:
+        if not artifact.journeys:
+            parser.error(
+                f"artifact {artifact.experiment!r} has no journeys — "
+                "capture with --experiment fig4-point (or load such an "
+                "artifact with --input)")
+        if args.journey is not None:
+            matches = [j for j in artifact.journeys if j["id"] == args.journey]
+            if not matches:
+                known = ", ".join(str(j["id"]) for j in artifact.journeys[:20])
+                parser.error(f"no journey with id {args.journey} "
+                             f"(known ids: {known})")
+            out = waterfall_table(matches[0])
+        else:
+            out = outlier_report(artifact.journeys, top=args.outliers)
+    elif args.spans:
         out = _span_listing(spans)
     elif args.summary:
         from .obs import summary_table
@@ -180,7 +338,8 @@ def main(argv=None) -> int:
         out = summary_table(spans, top=args.top,
                             title=f"{artifact.experiment}: top scopes by self time")
     else:
-        out = chrome_trace_json(spans, records, indent=args.indent)
+        out = chrome_trace_json(spans, records, artifact.journeys,
+                                artifact.timeseries, indent=args.indent)
 
     if args.output:
         with open(args.output, "w") as fh:

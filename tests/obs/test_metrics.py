@@ -5,7 +5,14 @@ import random
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    TimeSeriesSampler,
+)
 
 
 def test_counter_basics():
@@ -124,3 +131,87 @@ def test_registry_snapshot_sorted_and_typed():
     assert snap["a"]["count"] == 1
     reg.reset()
     assert len(reg) == 0
+
+
+def test_histogram_p999_tracks_extreme_tail():
+    hist = Histogram("lat")
+    for _ in range(999):
+        hist.record(1.0)
+    hist.record(1000.0)
+    # 1 sample in 1000 at the top: p99.9 must see the outlier region
+    # while p50 stays on the bulk.
+    assert hist.p50 <= 2.0
+    assert hist.p999 > hist.p99 * 0.99
+    assert hist.p999 >= hist.percentile(99.0)
+    snap = hist.as_dict()
+    assert snap["p999"] == hist.p999
+    assert set(snap) >= {"p50", "p95", "p99", "p999"}
+
+
+def test_timeseries_records_points_in_order():
+    ts = TimeSeries("q.depth", unit="frames")
+    ts.sample(0.0, 1.0)
+    ts.sample(50.0, 3.0)
+    assert len(ts) == 2
+    assert ts.as_dict() == {
+        "unit": "frames", "count": 2, "points": [[0.0, 1.0], [50.0, 3.0]]}
+
+
+class _FakeEnv:
+    """Minimal duck-typed env: manual clock + immediate-sorted timers."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.timers = []
+
+    def call_later(self, delay, fn):
+        self.timers.append((self.now + delay, fn))
+
+    def run_until(self, t_end):
+        while self.timers:
+            self.timers.sort(key=lambda tf: tf[0])
+            t, fn = self.timers[0]
+            if t > t_end:
+                return
+            self.timers.pop(0)
+            self.now = t
+            fn()
+
+
+def test_sampler_cadence_and_stop():
+    env = _FakeEnv()
+    sampler = TimeSeriesSampler(env, interval_ns=100.0)
+    level = {"v": 0.0}
+    ts = sampler.add(TimeSeries("depth"), lambda: level["v"])
+    sampler.start()  # immediate first sample at t=0
+    level["v"] = 7.0
+    env.run_until(350.0)
+    assert [t for t, _ in ts.points] == [0.0, 100.0, 200.0, 300.0]
+    assert [v for _, v in ts.points] == [0.0, 7.0, 7.0, 7.0]
+    assert sampler.ticks == 4
+    sampler.stop()
+    env.run_until(1000.0)  # pending timer fires but is a no-op
+    assert len(ts.points) == 4
+    with pytest.raises(RuntimeError, match="already started"):
+        sampler.start()
+
+
+def test_sampler_max_samples_backstop():
+    env = _FakeEnv()
+    sampler = TimeSeriesSampler(env, interval_ns=10.0, max_samples=3)
+    ts = sampler.add(TimeSeries("d"), lambda: 1.0)
+    sampler.start()
+    env.run_until(10_000.0)
+    assert len(ts.points) == 3
+    assert not env.timers  # stopped re-arming: cannot pin a run alive
+
+
+def test_registry_timeseries_excluded_from_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    ts = reg.timeseries("b.depth", unit="frames")
+    ts.sample(0.0, 2.0)
+    assert reg.timeseries("b.depth") is ts
+    assert list(reg.snapshot()) == ["a"]
+    with pytest.raises(TypeError, match="timeseries"):
+        reg.gauge("b.depth")

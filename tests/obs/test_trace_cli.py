@@ -103,3 +103,81 @@ def test_experiments_json_flag(tmp_path, capsys):
     # Every --json artifact now carries aggregated simulator-cost stats.
     assert art.profile["environments"] >= 1
     assert art.profile["events_processed"] > 0
+
+
+# ---------------------------------------------------------------------------
+# fig4-point: journey capture, --journey / --outliers, flow+counter export
+# ---------------------------------------------------------------------------
+
+_FIG4P_ARGS = ["--experiment", "fig4-point", "--nbytes", "16384",
+               "--messages", "8", "--loss", "0.02"]
+
+
+@pytest.fixture(scope="module")
+def fig4p_artifact(tmp_path_factory):
+    from repro.trace import capture_fig4_point
+
+    art = capture_fig4_point(nbytes=16_384, messages=8, loss=0.02)
+    path = tmp_path_factory.mktemp("fig4p") / "art.json"
+    art.write(str(path))
+    return art, path
+
+
+def test_capture_fig4_point_artifact(fig4p_artifact):
+    art, _ = fig4p_artifact
+    assert art.experiment == "fig4.point"
+    assert len(art.journeys) == 8
+    assert all(j["delivered"] for j in art.journeys)
+    assert any(j["retransmits"] for j in art.journeys)
+    assert art.result["latency"]["p999_us"] >= art.result["latency"]["p50_us"]
+    assert art.timeseries  # queue depths were sampled
+    assert any(name.endswith(".rx_depth") for name in art.timeseries)
+    assert any(name.startswith("switch.port") for name in art.timeseries)
+
+
+def test_cli_fig4_point_chrome_has_flows_and_counters(fig4p_artifact, capsys):
+    _, path = fig4p_artifact
+    assert main(["--input", str(path)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"s", "f", "C"} <= phases
+
+
+def test_cli_journey_waterfall(fig4p_artifact, capsys):
+    _, path = fig4p_artifact
+    assert main(["--input", str(path), "--journey", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Journey #1" in out
+    for hop in ("send", "wire", "switch", "irq", "deliver", "TOTAL"):
+        assert hop in out
+
+
+def test_cli_outliers_report(fig4p_artifact, capsys):
+    _, path = fig4p_artifact
+    assert main(["--input", str(path), "--outliers", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Top 3 slowest journeys" in out
+    assert "dominant hop" in out
+
+
+def test_cli_journey_flags_reject_artifacts_without_journeys(tmp_path, capsys):
+    art_path = tmp_path / "fig7.json"
+    assert main(["--artifact", str(art_path), "-o", str(tmp_path / "t.json")]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["--input", str(art_path), "--outliers", "3"])
+    assert "no journeys" in capsys.readouterr().err
+
+
+def test_cli_unknown_journey_id_errors(fig4p_artifact, capsys):
+    _, path = fig4p_artifact
+    with pytest.raises(SystemExit):
+        main(["--input", str(path), "--journey", "999"])
+    assert "no journey with id 999" in capsys.readouterr().err
+
+
+def test_cli_fig4_point_capture_is_deterministic(tmp_path):
+    out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(_FIG4P_ARGS + ["-o", str(out_a)]) == 0
+    assert main(_FIG4P_ARGS + ["-o", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()

@@ -84,7 +84,7 @@ def test_run_bench_rejects_unknown_scenarios():
     with pytest.raises(KeyError, match="unknown"):
         run_bench(scenarios=["nope"])
     assert [name for name, _ in SCENARIOS] == [
-        "headline", "fig4", "fig5", "fig7", "resilience"]
+        "headline", "fig4", "fig5", "fig7", "resilience", "journey"]
 
 
 def test_current_rev_is_short_string():
