@@ -101,7 +101,13 @@ class Cluster:
         self.tracer = Tracer(self.env, self.trace)
         #: cluster-wide typed metrics namespace (counters/gauges/histograms)
         self.metrics = MetricsRegistry()
-        self.switch = Switch(self.env, self.cfg.link, tracer=self.tracer)
+        self.switch = Switch(
+            self.env,
+            self.cfg.link,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            backpressure=getattr(self.cfg, "switch_backpressure", "drop"),
+        )
         self.nodes: List[Node] = []
         #: every simplex wire in build order, as ``(name, Channel)`` with
         #: names ``"{node_id}.{ch}.up"`` (node -> switch) and ``...down``
@@ -133,10 +139,12 @@ class Cluster:
                 to_switch = Channel(
                     self.env, self.cfg.link, f"{node.name}.ch{ch}->sw",
                     faults=self._channel_faults(node_id, ch, "up"),
+                    tracer=self.tracer,
                 )
                 from_switch = Channel(
                     self.env, self.cfg.link, f"sw->{node.name}.ch{ch}",
                     faults=self._channel_faults(node_id, ch, "down"),
+                    tracer=self.tracer,
                 )
                 port = self.switch.attach(from_switch, mac_for(node_id, ch))
                 to_switch.connect(self.switch.ingress(port))

@@ -227,6 +227,12 @@ class ClicParams:
     #: isolated frame loss is then repaired in ~1 RTT instead of a full
     #: RTO stall; only window-wiping fault bursts still pay the timeout.
     dupack_threshold: int = 3
+    #: bounded out-of-order reassembly stash at the receiver (packets
+    #: held while waiting for an in-order gap to fill); beyond this the
+    #: overrun policy is *drop-newest* (counted as
+    #: ``stash_overflow_drops``) so adversarial reordering can never
+    #: grow receiver memory without bound
+    reorder_stash_frames: int = 64
 
 
 @dataclass(frozen=True)
@@ -370,6 +376,10 @@ class ClusterConfig:
     trace: bool = False
     #: attach an event-loop profiler to the Environment (repro.obs.profile)
     profile: bool = False
+    #: switch egress-exhaustion policy: ``"drop"`` (tail-drop, counted)
+    #: or ``"pause"`` (802.3x-style lossless — the forwarding engine
+    #: stalls until the egress queue drains; see repro.hw.switch)
+    switch_backpressure: str = "drop"
 
     def with_node(self, node: NodeConfig) -> "ClusterConfig":
         """Copy of this cluster config with the node config replaced."""

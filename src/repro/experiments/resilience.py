@@ -151,6 +151,83 @@ def _point_task(spec: Tuple) -> Dict:
     return _cell(*args) if kind == "cell" else _outage_run(*args)
 
 
+#: adversarial-delivery scenarios (see :mod:`repro.faults`)
+ADVERSARIAL_KINDS = ("reorder", "duplicate", "overload")
+
+
+def _adversarial_setup(kind: str) -> Tuple[FaultPlan, str, int]:
+    """(fault plan, switch backpressure mode, switch queue frames) for one
+    adversarial-delivery scenario.
+
+    ``reorder``/``duplicate`` stress the receiver's reassembly and
+    duplicate suppression over a normal drop-mode switch.  ``overload``
+    collapses the *receiver's downlink* bandwidth 4x mid-transfer (the
+    ingress keeps arriving at full rate, so the switch egress queue —
+    shrunk to 8 frames — backs up) behind a PAUSE-mode (lossless)
+    fabric: senders are stalled instead of frames shed — graceful
+    degradation, not loss.
+    """
+    from ..faults import CongestionWindow, LinkFaultSpec, OutageWindow
+
+    if kind == "reorder":
+        return FaultPlan.reordering(0.25, max_delay_ns=100_000.0), "drop", 512
+    if kind == "duplicate":
+        return FaultPlan.duplication(0.2, max_copies=2), "drop", 512
+    spike = CongestionWindow(
+        window=OutageWindow(200_000.0, 4_200_000.0),
+        bandwidth_factor=4.0,
+        extra_latency_ns=50_000.0,
+    )
+    # ``stream`` sends node 0 -> node 1, so (1, 0, "down") is the switch
+    # egress feeding the receiver — the only link the spike covers.
+    plan = FaultPlan(links={(1, 0, "down"): LinkFaultSpec(congestion=(spike,))})
+    return plan, "pause", 8
+
+
+def _adversarial_run(kind: str, nbytes: int, messages: int) -> Dict:
+    """One journey-traced CLIC stream under an adversarial-delivery fault.
+
+    Returns tail latency (p50/p99/p99.9 over per-message journeys) plus
+    the degraded-mode accounting: duplicates suppressed, frames parked in
+    the reorder stash, overrun drops, and PAUSE backpressure time.  Runs
+    serially (one cluster, one seed) so ``--jobs N`` artifacts stay
+    byte-identical.
+    """
+    from ..obs import JourneyProbe, JourneyRecorder, journey_latency_summary
+
+    plan, backpressure, queue_frames = _adversarial_setup(kind)
+    cfg = replace(_cfg(SEEDS[0]), switch_backpressure=backpressure)
+    cluster = Cluster(cfg, protocols=("clic",), faults=plan)
+    cluster.switch.queue_frames = queue_frames
+    for port in cluster.switch.ports:
+        port.queue.capacity = queue_frames
+    recorder = JourneyRecorder(cluster.env)
+    cluster.tracer.journeys = recorder
+    probe = JourneyProbe.install(recorder)
+    try:
+        res = stream(cluster, clic_pair(), nbytes, messages=messages)
+    finally:
+        probe.uninstall()
+    switch = cluster.switch.counters
+    return {
+        "kind": kind,
+        "backpressure": backpressure,
+        "goodput_mbps": res.bandwidth_mbps,
+        "summary": journey_latency_summary(recorder.as_dicts()),
+        "degraded": {
+            "dup_suppressed": _sum_counters(cluster, ".duplicates"),
+            "reorder_buffered": _sum_counters(cluster, ".stashed"),
+            "overrun_drops": (
+                _sum_counters(cluster, ".stash_overflow_drops")
+                + _sum_counters(cluster, ".rx_drops")
+                + switch.get("drops")
+            ),
+            "pause_events": switch.get("pause_events"),
+            "pause_time_ns": switch.get("pause_time_ns"),
+        },
+    }
+
+
 def _tail_latency(rate: float, nbytes: int, messages: int) -> Dict:
     """Journey-traced CLIC stream under burst loss: the per-message tail.
 
@@ -204,6 +281,10 @@ def run(quick: bool = True, jobs: int = 1) -> Dict:
     cells = points[: -len(outage_protocols)]
     outages = dict(zip(outage_protocols, points[-len(outage_protocols):]))
     tail = _tail_latency(rates[1], nbytes, messages)
+    adversarial = {
+        kind: _adversarial_run(kind, nbytes, messages)
+        for kind in ADVERSARIAL_KINDS
+    }
 
     rows = [
         (c["protocol"].upper(), c["model"], f"{c['rate']:.2f}",
@@ -229,12 +310,30 @@ def run(quick: bool = True, jobs: int = 1) -> Dict:
         + ", ".join(f"{o['dominant_hop']} ({o['latency_us']:.0f} us, "
                     f"{o['retransmits']} retx)" for o in tail["outliers"])
     )
+    adv_rows = [
+        (a["kind"], a["backpressure"], round(a["goodput_mbps"], 1),
+         round(a["summary"]["p50_us"], 1), round(a["summary"]["p99_us"], 1),
+         round(a["summary"]["p999_us"], 1),
+         int(a["degraded"]["dup_suppressed"]),
+         int(a["degraded"]["reorder_buffered"]),
+         int(a["degraded"]["overrun_drops"]),
+         round(a["degraded"]["pause_time_ns"] / 1e6, 2))
+        for a in adversarial.values()
+    ]
+    report += "\n\n" + format_table(
+        ["fault", "backpressure", "goodput (Mb/s)", "p50 (us)", "p99 (us)",
+         "p99.9 (us)", "dups suppressed", "reorder buffered", "overrun drops",
+         "pause (ms)"],
+        adv_rows,
+        title="CLIC under adversarial delivery (journey-traced, degraded-mode accounting)",
+    )
     result = {
         "id": EXPERIMENT_ID,
         "rates": rates,
         "cells": cells,
         "outages": outages,
         "tail_latency": tail,
+        "adversarial": adversarial,
         "report": report,
     }
     shape_checks(result)
@@ -301,6 +400,31 @@ def shape_checks(result: Dict) -> None:
             check(bool(o["dominant_hop"]),
                   "every explained outlier names a dominant hop",
                   str(o))
+
+    for kind, a in result.get("adversarial", {}).items():
+        s = a["summary"]
+        check(s["delivered"] == s["messages"],
+              f"{kind}: every message survived adversarial delivery",
+              f"{s['delivered']}/{s['messages']}")
+        check(s["p50_us"] <= s["p99_us"] <= s["p999_us"],
+              f"{kind}: tail percentiles are ordered p50 <= p99 <= p99.9",
+              f"{s['p50_us']:.0f} / {s['p99_us']:.0f} / {s['p999_us']:.0f}")
+        d = a["degraded"]
+        if kind == "duplicate":
+            check(d["dup_suppressed"] > 0,
+                  "duplication was absorbed by the receiver's suppression",
+                  str(d["dup_suppressed"]))
+        if kind == "reorder":
+            check(d["reorder_buffered"] > 0,
+                  "reordering exercised the out-of-order stash",
+                  str(d["reorder_buffered"]))
+        if kind == "overload":
+            check(d["pause_events"] > 0,
+                  "overload engaged PAUSE backpressure",
+                  str(d["pause_events"]))
+            check(d["overrun_drops"] == 0,
+                  "the lossless fabric shed nothing under overload",
+                  str(d["overrun_drops"]))
 
 
 if __name__ == "__main__":

@@ -17,7 +17,16 @@ schedule is bit-reproducible from ``(seed, plan)``:
   (:class:`OutageWindow`, :func:`flap_timeline`);
 * **switch egress blackouts** — a switch port stops transmitting for a
   window (:class:`SwitchBlackout`), modelling e.g. a spanning-tree
-  reconvergence or a misbehaving line card.
+  reconvergence or a misbehaving line card;
+* **frame reordering** — bounded-displacement reordering via a per-link
+  delay-jitter distribution (:class:`DelayJitter`): jittered frames are
+  delivered late and can be overtaken by their successors;
+* **frame duplication** — delivered frames arrive more than once
+  (:class:`Duplication`: rate + max extra copies), as flooding switches
+  and ARQ bridges produce in practice;
+* **congestion spikes** — transient bandwidth collapse / added latency
+  on links and switch uplinks (:class:`CongestionWindow`), deterministic
+  timelines that never perturb the stochastic draw sequence.
 
 Every injected fault is observable: drop/corruption tallies land in the
 cluster's :class:`~repro.obs.MetricsRegistry` under ``faults.*`` and
@@ -25,9 +34,18 @@ scheduled windows are emitted as ``link_outage`` / ``egress_blackout``
 spans on the cluster tracer.
 """
 
-from .inject import ChannelFaults, FrameVerdict, GilbertElliottModel, UniformLossModel
+from .inject import (
+    ChannelFaults,
+    FrameDecision,
+    FrameVerdict,
+    GilbertElliottModel,
+    UniformLossModel,
+)
 from .plan import (
     BurstLoss,
+    CongestionWindow,
+    DelayJitter,
+    Duplication,
     FaultPlan,
     LinkFaultSpec,
     OutageWindow,
@@ -38,7 +56,11 @@ from .plan import (
 __all__ = [
     "BurstLoss",
     "ChannelFaults",
+    "CongestionWindow",
+    "DelayJitter",
+    "Duplication",
     "FaultPlan",
+    "FrameDecision",
     "FrameVerdict",
     "GilbertElliottModel",
     "LinkFaultSpec",

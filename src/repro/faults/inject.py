@@ -6,15 +6,19 @@ delivered, lost to the loss model, lost to a scheduled outage, or
 delivered *corrupted* (to be dropped by the receiving NIC's CRC check).
 
 Draw discipline: the engine consumes its RNG stream in a fixed order
-(loss model first, then corruption) and only draws for mechanisms that
-are actually configured — so a plain uniform-loss plan consumes exactly
+(loss model first, then corruption, then — for delivered frames only —
+delay jitter, then duplication) and only draws for mechanisms that are
+actually configured — so a plain uniform-loss plan consumes exactly
 one draw per frame, bit-identical to the historical
-``Cluster(loss_rate=...)`` behaviour under the same seed.
+``Cluster(loss_rate=...)`` behaviour under the same seed, and adding a
+new fault family never perturbs the draw sequence of an existing plan.
+Congestion windows are a deterministic timeline: zero draws.
 """
 
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
@@ -22,7 +26,13 @@ import numpy as np
 from ..sim import Counters
 from .plan import BurstLoss, LinkFaultSpec, OutageWindow
 
-__all__ = ["FrameVerdict", "UniformLossModel", "GilbertElliottModel", "ChannelFaults"]
+__all__ = [
+    "FrameVerdict",
+    "FrameDecision",
+    "UniformLossModel",
+    "GilbertElliottModel",
+    "ChannelFaults",
+]
 
 
 class FrameVerdict(enum.Enum):
@@ -37,6 +47,30 @@ class FrameVerdict(enum.Enum):
     def dropped(self) -> bool:
         """True when the frame never reaches the far end of the wire."""
         return self in (FrameVerdict.LOST, FrameVerdict.OUTAGE)
+
+
+@dataclass(frozen=True)
+class FrameDecision:
+    """The full fate of one offered frame.
+
+    Extends the bare :class:`FrameVerdict` with the adversarial-delivery
+    families: how many copies arrive (duplication), how much extra
+    delay each pick up (jitter-driven reordering), and whether a
+    congestion window covered the frame.
+    """
+
+    verdict: FrameVerdict
+    #: extra delivery delay from jitter (ns; 0 = undisturbed)
+    extra_delay_ns: float = 0.0
+    #: total delivered copies (1 = normal; > 1 = duplication)
+    copies: int = 1
+    #: a congestion window covered this frame's serialization
+    congested: bool = False
+
+    @property
+    def dropped(self) -> bool:
+        """True when no copy reaches the far end of the wire."""
+        return self.verdict.dropped
 
 
 class UniformLossModel:
@@ -92,7 +126,11 @@ class ChannelFaults:
         self.spec = spec
         self.rng = rng
         self.counters = counters if counters is not None else Counters()
-        if (spec.loss_rate or spec.burst is not None or spec.corrupt_rate) and rng is None:
+        stochastic = (
+            spec.loss_rate or spec.burst is not None or spec.corrupt_rate
+            or spec.jitter is not None or spec.duplicate is not None
+        )
+        if stochastic and rng is None:
             raise ValueError("stochastic fault injection requires an RNG stream")
         self.model = None
         if spec.burst is not None:
@@ -100,10 +138,31 @@ class ChannelFaults:
         elif spec.loss_rate:
             self.model = UniformLossModel(spec.loss_rate)
         self._outages: Tuple[OutageWindow, ...] = tuple(sorted(spec.outages))
+        self._congestion = tuple(sorted(spec.congestion, key=lambda c: c.window))
 
     def link_down(self, now: float) -> bool:
         """True while a scheduled outage window covers ``now``."""
         return any(w.covers(now) for w in self._outages)
+
+    # -- congestion (deterministic: no draws) ------------------------------
+    def congested(self, now: float) -> bool:
+        """True while a congestion window covers ``now``."""
+        return any(c.window.covers(now) for c in self._congestion)
+
+    def congestion_factor(self, now: float) -> float:
+        """Serialization-time multiplier at ``now`` (1.0 when healthy).
+        Overlapping windows compound multiplicatively."""
+        factor = 1.0
+        for c in self._congestion:
+            if c.window.covers(now):
+                factor *= c.bandwidth_factor
+        return factor
+
+    def congestion_latency_ns(self, now: float) -> float:
+        """Extra one-way queueing delay at ``now`` (overlaps add up)."""
+        return sum(
+            c.extra_latency_ns for c in self._congestion if c.window.covers(now)
+        )
 
     def judge(self, now: float) -> FrameVerdict:
         """Pass verdict on one frame whose serialization ends at ``now``."""
@@ -119,3 +178,33 @@ class ChannelFaults:
             self.counters.add("corrupted")
             return FrameVerdict.CORRUPT
         return FrameVerdict.DELIVER
+
+    def decide(self, now: float) -> FrameDecision:
+        """The full fate of one frame whose serialization ends at ``now``.
+
+        Extends :meth:`judge` with jitter and duplication.  Draw order
+        is strict — outage check, loss model, corruption, *then* jitter,
+        *then* duplication, and the new families draw only for frames
+        that are actually delivered — so a plan without them consumes
+        exactly the draws it always did.
+        """
+        congested = self.congested(now)
+        if congested:
+            self.counters.add("congested")
+        verdict = self.judge(now)
+        if verdict.dropped:
+            return FrameDecision(verdict, congested=congested)
+        extra_delay = 0.0
+        jitter = self.spec.jitter
+        if jitter is not None and self.rng.random() < jitter.rate:
+            extra_delay = float(self.rng.random() * jitter.max_delay_ns)
+            self.counters.add("jittered")
+        copies = 1
+        duplicate = self.spec.duplicate
+        if duplicate is not None and self.rng.random() < duplicate.rate:
+            copies = 1 + int(self.rng.integers(1, duplicate.max_copies + 1))
+            self.counters.add("duplicated")
+            self.counters.add("dup_copies", copies - 1)
+        return FrameDecision(
+            verdict, extra_delay_ns=extra_delay, copies=copies, congested=congested
+        )

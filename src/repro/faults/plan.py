@@ -15,6 +15,9 @@ from typing import Dict, Optional, Tuple
 __all__ = [
     "OutageWindow",
     "BurstLoss",
+    "DelayJitter",
+    "Duplication",
+    "CongestionWindow",
     "LinkFaultSpec",
     "SwitchBlackout",
     "FaultPlan",
@@ -127,6 +130,92 @@ class BurstLoss:
         )
 
 
+def _require_probability(owner: str, name: str, value: float) -> None:
+    """Shared ``__post_init__`` range check: ``value`` must be in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{owner}.{name} must be a probability (got {value!r})")
+
+
+@dataclass(frozen=True)
+class DelayJitter:
+    """Per-frame extra delivery delay — the *reordering* fault family.
+
+    Each delivered frame is independently jittered with probability
+    ``rate``; a jittered frame arrives up to ``max_delay_ns`` late
+    (uniform draw), so it can be overtaken by later frames.  The delay
+    bound makes the displacement bound explicit: a frame can be passed
+    only by frames serialized within ``max_delay_ns`` behind it.
+    """
+
+    #: probability a delivered frame is delayed
+    rate: float
+    #: upper bound of the uniform extra delay (ns)
+    max_delay_ns: float
+
+    def __post_init__(self) -> None:
+        _require_probability("DelayJitter", "rate", self.rate)
+        if self.max_delay_ns <= 0:
+            raise ValueError(
+                f"DelayJitter.max_delay_ns must be positive (got {self.max_delay_ns!r})"
+            )
+
+
+@dataclass(frozen=True)
+class Duplication:
+    """Frame duplication: a delivered frame arrives more than once.
+
+    Each delivered frame is duplicated with probability ``rate``; a
+    duplicated frame arrives as ``1 + k`` copies with ``k`` drawn
+    uniformly from ``[1, max_copies]``.  Models switch flooding during
+    table churn and ARQ bridges re-emitting frames.
+    """
+
+    #: probability a delivered frame is duplicated
+    rate: float
+    #: most *extra* copies one duplication event can produce
+    max_copies: int = 1
+
+    def __post_init__(self) -> None:
+        _require_probability("Duplication", "rate", self.rate)
+        if self.max_copies < 1:
+            raise ValueError(
+                f"Duplication.max_copies must be >= 1 (got {self.max_copies!r})"
+            )
+
+
+@dataclass(frozen=True)
+class CongestionWindow:
+    """A transient congestion spike on a link (or switch uplink).
+
+    While ``window`` covers the current time, the link's effective
+    bandwidth collapses by ``bandwidth_factor`` (serialization takes
+    that many times longer) and every delivery picks up
+    ``extra_latency_ns`` of queueing delay.  Deterministic — no RNG
+    draws — so adding a congestion schedule never perturbs the loss /
+    corruption draw sequence of an existing plan.
+    """
+
+    window: OutageWindow
+    #: serialization-time multiplier while congested (>= 1)
+    bandwidth_factor: float = 1.0
+    #: added one-way latency while congested (ns)
+    extra_latency_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_factor < 1.0:
+            raise ValueError(
+                "CongestionWindow.bandwidth_factor must be >= 1 "
+                f"(got {self.bandwidth_factor!r})"
+            )
+        if self.extra_latency_ns < 0:
+            raise ValueError(
+                "CongestionWindow.extra_latency_ns must be >= 0 "
+                f"(got {self.extra_latency_ns!r})"
+            )
+        if self.bandwidth_factor == 1.0 and self.extra_latency_ns == 0.0:
+            raise ValueError("CongestionWindow must collapse bandwidth or add latency")
+
+
 @dataclass(frozen=True)
 class LinkFaultSpec:
     """Everything that can go wrong on one link direction."""
@@ -139,18 +228,24 @@ class LinkFaultSpec:
     corrupt_rate: float = 0.0
     #: down/up timeline for this direction
     outages: Tuple[OutageWindow, ...] = ()
+    #: bounded-displacement reordering via delay jitter
+    jitter: Optional[DelayJitter] = None
+    #: frame duplication (rate + max extra copies)
+    duplicate: Optional[Duplication] = None
+    #: transient congestion spikes (deterministic timeline)
+    congestion: Tuple[CongestionWindow, ...] = ()
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.loss_rate <= 1.0:
-            raise ValueError(f"loss_rate must be a probability (got {self.loss_rate!r})")
-        if not 0.0 <= self.corrupt_rate <= 1.0:
-            raise ValueError(f"corrupt_rate must be a probability (got {self.corrupt_rate!r})")
+        _require_probability("LinkFaultSpec", "loss_rate", self.loss_rate)
+        _require_probability("LinkFaultSpec", "corrupt_rate", self.corrupt_rate)
 
     @property
     def active(self) -> bool:
         """True when this spec injects anything at all."""
         return bool(
-            self.loss_rate or self.burst is not None or self.corrupt_rate or self.outages
+            self.loss_rate or self.burst is not None or self.corrupt_rate
+            or self.outages or self.jitter is not None
+            or self.duplicate is not None or self.congestion
         )
 
 
@@ -163,6 +258,14 @@ class SwitchBlackout:
     node: Optional[int] = None
     #: target NIC channel on that node (None = every channel)
     channel: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.node is not None and self.node < 0:
+            raise ValueError(f"SwitchBlackout.node must be >= 0 (got {self.node!r})")
+        if self.channel is not None and self.channel < 0:
+            raise ValueError(
+                f"SwitchBlackout.channel must be >= 0 (got {self.channel!r})"
+            )
 
     def matches(self, node_id: int, channel: int) -> bool:
         """Does this blackout target the port feeding (node, channel)?"""
@@ -225,6 +328,39 @@ class FaultPlan:
     def corruption(cls, corrupt_rate: float) -> "FaultPlan":
         """CRC-corruption on every link direction."""
         return cls(default_link=LinkFaultSpec(corrupt_rate=corrupt_rate))
+
+    @classmethod
+    def reordering(cls, rate: float, max_delay_ns: float) -> "FaultPlan":
+        """Bounded-displacement reordering (delay jitter) on every link
+        direction."""
+        return cls(default_link=LinkFaultSpec(
+            jitter=DelayJitter(rate=rate, max_delay_ns=max_delay_ns)
+        ))
+
+    @classmethod
+    def duplication(cls, rate: float, max_copies: int = 1) -> "FaultPlan":
+        """Frame duplication on every link direction."""
+        return cls(default_link=LinkFaultSpec(
+            duplicate=Duplication(rate=rate, max_copies=max_copies)
+        ))
+
+    @classmethod
+    def congestion_spike(
+        cls,
+        start_ns: float,
+        end_ns: float,
+        bandwidth_factor: float = 1.0,
+        extra_latency_ns: float = 0.0,
+    ) -> "FaultPlan":
+        """A transient congestion spike on every link direction (which
+        includes the switch uplinks: each ``down`` channel is a switch
+        egress)."""
+        spike = CongestionWindow(
+            window=OutageWindow(start_ns, end_ns),
+            bandwidth_factor=bandwidth_factor,
+            extra_latency_ns=extra_latency_ns,
+        )
+        return cls(default_link=LinkFaultSpec(congestion=(spike,)))
 
     @classmethod
     def link_outage(

@@ -8,11 +8,13 @@ loss, corruption, outages — see :mod:`repro.faults`) exercises the
 protocols' reliability machinery.
 
 Counter semantics: ``frames_offered``/``bytes_offered`` count everything
-serialized onto the wire; ``frames``/``bytes`` count only what is
-actually *delivered* to the sink (corrupted frames are delivered — the
-receiving NIC's CRC check drops them); ``frames_lost``/``bytes_lost``
-count drops from loss models and outages.  Offered = delivered + lost,
-always.
+serialized onto the wire (one per transmit, however many copies result);
+``frames``/``bytes`` count what is actually *delivered* to the sink —
+every copy (corrupted frames are delivered — the receiving NIC's CRC
+check drops them); ``frames_lost``/``bytes_lost`` count drops from loss
+models and outages; ``frames_duplicated``/``bytes_duplicated`` count the
+*extra* copies a duplication fault produced.  Offered + duplicated =
+delivered + lost, always.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ class Channel:
         loss_rate: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         faults: Optional[ChannelFaults] = None,
+        tracer=None,
     ):
         self.env = env
         self.params = params
@@ -51,6 +54,9 @@ class Channel:
         self._sink: Optional[Callable[[Frame], None]] = None
         self.busy = BusyTracker()
         self.counters = Counters()
+        #: optional :class:`repro.obs.Tracer`; only its ``journeys``
+        #: attribute is consulted (for wire drop / duplicate events)
+        self.tracer = tracer
         if loss_rate and rng is None and faults is None:
             raise ValueError("loss injection requires an RNG stream")
         if faults is None and loss_rate:
@@ -58,6 +64,9 @@ class Channel:
             # stream (draw-for-draw identical to the historical behaviour).
             faults = ChannelFaults(LinkFaultSpec(loss_rate=loss_rate), rng=rng)
         self.faults = faults
+
+    def _journeys(self):
+        return self.tracer.journeys if self.tracer is not None else None
 
     def connect(self, sink: Callable[[Frame], None]) -> None:
         """Attach the receiving endpoint (called once per channel)."""
@@ -71,6 +80,11 @@ class Channel:
         if self._sink is None:
             raise RuntimeError(f"channel {self.name} has no sink")
         duration = frame_time_ns(frame, self.params)
+        if self.faults is not None:
+            # Congestion collapses effective bandwidth: the wire is held
+            # for a multiple of the healthy serialization time, so every
+            # queued successor is pushed out too (the spike cascades).
+            duration *= self.faults.congestion_factor(self.env.now)
         with self._wire.request() as grant:
             yield grant
             self.busy.acquire(self.env.now)
@@ -80,24 +94,49 @@ class Channel:
                 self.busy.release(self.env.now)
         self.counters.add("frames_offered")
         self.counters.add("bytes_offered", frame.payload_bytes)
-        verdict = (
-            FrameVerdict.DELIVER if self.faults is None else self.faults.judge(self.env.now)
-        )
-        if verdict.dropped:
+        if self.faults is None:
+            self.counters.add("frames")
+            self.counters.add("bytes", frame.payload_bytes)
+            self.env.process(
+                self._deliver(frame, self.params.propagation_ns),
+                name=f"{self.name}.deliver",
+            )
+            return
+        decision = self.faults.decide(self.env.now)
+        journeys = self._journeys()
+        if decision.dropped:
             self.counters.add("frames_lost")
             self.counters.add("bytes_lost", frame.payload_bytes)
+            if journeys is not None:
+                journeys.hop(frame.payload, "wire_drop", "wire", link=self.name,
+                             reason=decision.verdict.value)
             return
-        if verdict is FrameVerdict.CORRUPT:
+        if decision.verdict is FrameVerdict.CORRUPT:
             # Deliver a damaged copy (a broadcast frame object is shared
             # across egress ports — never corrupt the shared instance).
             frame = replace(frame, corrupted=True)
             self.counters.add("frames_corrupted")
-        self.counters.add("frames")
-        self.counters.add("bytes", frame.payload_bytes)
-        self.env.process(self._deliver(frame), name=f"{self.name}.deliver")
+        delay = (
+            self.params.propagation_ns
+            + decision.extra_delay_ns
+            + self.faults.congestion_latency_ns(self.env.now)
+        )
+        if decision.copies > 1:
+            self.counters.add("frames_duplicated", decision.copies - 1)
+            self.counters.add("bytes_duplicated",
+                              frame.payload_bytes * (decision.copies - 1))
+            if journeys is not None:
+                journeys.hop(frame.payload, "wire_dup", "wire", link=self.name,
+                             copies=decision.copies)
+        for _ in range(decision.copies):
+            self.counters.add("frames")
+            self.counters.add("bytes", frame.payload_bytes)
+            self.env.process(
+                self._deliver(frame, delay), name=f"{self.name}.deliver"
+            )
 
-    def _deliver(self, frame: Frame) -> Generator:
-        yield self.env.timeout(self.params.propagation_ns)
+    def _deliver(self, frame: Frame, delay_ns: float) -> Generator:
+        yield self.env.timeout(delay_ns)
         self._sink(frame)
 
     def utilization(self) -> float:

@@ -103,6 +103,12 @@ class Nic:
 
         self._tx_ring: Store = Store(env, capacity=params.tx_ring_slots, name=f"{name}.txring")
         self._rx_buffer: List[RxFrame] = []  # bounded by rx_ring_slots
+        #: ring descriptors claimed by frames still in rx processing
+        #: (admitted, not yet in ``_rx_buffer``) — coincident arrivals
+        #: (duplicated/jittered frames) must not overshoot the ring
+        self._rx_claimed = 0
+        #: highest rx-buffer occupancy ever observed (overrun accounting)
+        self.rx_buffer_peak = 0
         self._tx_channel: Optional["Channel"] = None
 
         #: host-side IRQ trampoline, installed by the driver
@@ -148,7 +154,7 @@ class Nic:
             if journeys is not None:
                 journeys.hop(frame.payload, "nic_drop", self.name, reason="oversize")
             return
-        if len(self._rx_buffer) >= self.params.rx_ring_slots:
+        if len(self._rx_buffer) + self._rx_claimed >= self.params.rx_ring_slots:
             self.counters.add("rx_drops")
             if journeys is not None:
                 journeys.hop(frame.payload, "nic_drop", self.name, reason="overflow")
@@ -156,6 +162,7 @@ class Nic:
         if journeys is not None:
             journeys.hop(frame.payload, "nic_rx", self.name,
                          nbytes=frame.payload_bytes)
+        self._rx_claimed += 1  # hardware claims the descriptor at arrival
         rx = RxFrame(frame=frame, arrived_at=self.env.now)
         self.env.process(self._rx_process(rx), name=f"{self.name}.rx")
 
@@ -260,6 +267,7 @@ class Nic:
             acc = self._reassembly.setdefault(marker.desc_id, [0])
             acc[0] += rx.frame.payload_bytes
             if not marker.last:
+                self._rx_claimed -= 1  # fragment consumed on-card
                 span.end(reassembling=True)
                 return
             total = acc[0]
@@ -277,12 +285,19 @@ class Nic:
             # NIC pushes straight to host memory, then tells the host.
             yield from self.pci.dma(rx.frame.payload_bytes, priority=2, label=f"{self.name}.rxpush")
             rx.in_host_memory = True
+            self._rx_claimed -= 1  # descriptor recycled after the push
             if self.push_callback is not None:
                 self.push_callback(rx)
             span.end(pushed=True)
             return
+        self._rx_claimed -= 1  # claimed -> buffered
         self._rx_buffer.append(rx)
         self._rx_depth_gauge.set(len(self._rx_buffer))
+        # Receiver-overrun accounting: the high-water mark the bounded-
+        # memory invariant audits against ``rx_ring_slots``.
+        if len(self._rx_buffer) > self.rx_buffer_peak:
+            self.rx_buffer_peak = len(self._rx_buffer)
+            self.counters.set("rx_buffer_peak", self.rx_buffer_peak)
         span.end()
         self.coalescer.note_frame()
 

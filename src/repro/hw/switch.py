@@ -10,12 +10,20 @@ builds channel-bonded networks through a switch).  This model:
   ingress link has already serialized it) plus a fixed forwarding
   latency;
 * replicates broadcast/multicast frames to every other port;
-* drops on egress-queue overflow (counted — exercised by the
-  reliability fault-injection tests);
+* handles egress-queue exhaustion per the configured *backpressure
+  mode*: ``"drop"`` (the default — tail-drop, counted) or ``"pause"``
+  (the forwarding engine blocks until the queue has room, modelling an
+  802.3x PAUSE-style lossless fabric; the stall is accounted in
+  ``pause_events`` / ``pause_time_ns``);
 * supports scheduled egress *blackouts* per port (see
   :mod:`repro.faults`): during a blackout window the port drops every
   frame queued for it (counted), modelling a reconverging or wedged
   switch port.
+
+Queue occupancy is observable: each enqueue refreshes a per-port depth
+gauge (``portN_depth``) and a cluster-wide high-water mark
+(``max_queue_depth``) that the invariant harness checks against the
+configured capacity (the bounded-memory rule).
 """
 
 from __future__ import annotations
@@ -27,11 +35,14 @@ from ..sim import Counters, Environment, Store
 from .link import Channel
 from .nic.frames import Frame, MacAddress
 
-__all__ = ["Switch", "SwitchPort"]
+__all__ = ["Switch", "SwitchPort", "BACKPRESSURE_MODES"]
 
 #: Default forwarding latency of an early-2000s GigE switch (store-and-
 #: forward pipeline after last bit in), ns.
 DEFAULT_FORWARD_NS = 2_000.0
+
+#: supported egress-exhaustion policies
+BACKPRESSURE_MODES = ("drop", "pause")
 
 
 class SwitchPort:
@@ -45,6 +56,8 @@ class SwitchPort:
         self.macs: List[MacAddress] = []
         #: scheduled egress-blackout windows (objects with ``covers(now)``)
         self.blackouts: Tuple = ()
+        #: highest queue occupancy ever observed (bounded-memory audit)
+        self.max_depth = 0
         switch.env.process(self._pump(), name=f"switch.port{index}.tx")
 
     def _pump(self) -> Generator:
@@ -56,16 +69,30 @@ class SwitchPort:
         """True while a scheduled blackout window covers ``now``."""
         return any(w.covers(now) for w in self.blackouts)
 
-    def enqueue(self, frame: Frame) -> None:
-        """Queue a frame for egress; drop (counted) if the queue is full
-        or the port is blacked out."""
-        journeys = self.switch._journeys()
+    def _note_depth(self) -> None:
+        """Refresh the depth gauge and the cluster-wide high-water mark."""
+        depth = len(self.queue.items)
+        self.max_depth = max(self.max_depth, depth)
+        self.switch.counters.set(f"port{self.index}_depth", depth)
+        self.switch.note_depth(self.max_depth)
+
+    def _drop_for_blackout(self, frame: Frame) -> bool:
+        """Drop (counted) when a blackout window covers now."""
         if self.blackouts and self.in_blackout(self.switch.env.now):
             self.switch.counters.add("blackout_drops")
+            journeys = self.switch._journeys()
             if journeys is not None:
                 journeys.hop(frame.payload, "switch_drop", "switch",
                              port=self.index, reason="blackout")
+            return True
+        return False
+
+    def enqueue(self, frame: Frame) -> None:
+        """Queue a frame for egress; drop (counted) if the queue is full
+        or the port is blacked out — the ``"drop"`` backpressure mode."""
+        if self._drop_for_blackout(frame):
             return
+        journeys = self.switch._journeys()
         if len(self.queue.items) >= self.queue.capacity:
             self.switch.counters.add("drops")
             if journeys is not None:
@@ -76,6 +103,32 @@ class SwitchPort:
             journeys.hop(frame.payload, "switch", "switch",
                          port=self.index, depth=len(self.queue.items))
         self.queue.put(frame)
+        self._note_depth()
+
+    def enqueue_blocking(self, frame: Frame) -> Generator:
+        """Queue a frame for egress, *waiting* for room when the queue is
+        full — the ``"pause"`` backpressure mode.
+
+        Blackouts still drop (a blacked-out port is dark, not slow).
+        The wait propagates to the forwarding engine, so a congested
+        egress stalls its ingress instead of shedding frames; the stall
+        is accounted in ``pause_events`` / ``pause_time_ns``.
+        """
+        if self._drop_for_blackout(frame):
+            return
+        journeys = self.switch._journeys()
+        if journeys is not None:
+            journeys.hop(frame.payload, "switch", "switch",
+                         port=self.index, depth=len(self.queue.items))
+        if len(self.queue.items) >= self.queue.capacity:
+            self.switch.counters.add("pause_events")
+            paused_at = self.switch.env.now
+            yield self.queue.put(frame)
+            self.switch.counters.add("pause_time_ns",
+                                     self.switch.env.now - paused_at)
+        else:
+            yield self.queue.put(frame)
+        self._note_depth()
 
 
 class Switch:
@@ -88,20 +141,44 @@ class Switch:
         forward_ns: float = DEFAULT_FORWARD_NS,
         queue_frames: int = 512,
         tracer=None,
+        metrics=None,
+        backpressure: str = "drop",
     ):
+        if backpressure not in BACKPRESSURE_MODES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_MODES} "
+                f"(got {backpressure!r})"
+            )
         self.env = env
         self.link_params = link_params
         self.forward_ns = forward_ns
         self.queue_frames = queue_frames
+        self.backpressure = backpressure
         self.ports: List[SwitchPort] = []
         self._mac_table: Dict[MacAddress, SwitchPort] = {}
-        self.counters = Counters()
+        #: counters land in the shared cluster registry (``switch.*``)
+        #: when a :class:`~repro.obs.MetricsRegistry` is given, so run
+        #: artifacts can surface drop/pause accounting; private otherwise.
+        self.counters = (
+            Counters(registry=metrics, prefix="switch.")
+            if metrics is not None else Counters()
+        )
         #: optional :class:`repro.obs.Tracer`; only its ``journeys``
         #: attribute is consulted (the switch emits no spans)
         self.tracer = tracer
 
     def _journeys(self):
         return self.tracer.journeys if self.tracer is not None else None
+
+    def note_depth(self, depth: int) -> None:
+        """Fold one port's high-water mark into the cluster-wide gauge."""
+        if depth > self.counters.level("max_queue_depth"):
+            self.counters.set("max_queue_depth", depth)
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Highest egress-queue occupancy seen on any port."""
+        return max((p.max_depth for p in self.ports), default=0)
 
     def attach(self, egress: Channel, mac: MacAddress) -> SwitchPort:
         """Create a port transmitting on ``egress``, owning ``mac``.
@@ -139,13 +216,20 @@ class Switch:
 
         return _receive
 
+    def _enqueue(self, port: SwitchPort, frame: Frame) -> Generator:
+        """Hand ``frame`` to ``port`` per the backpressure mode."""
+        if self.backpressure == "pause":
+            yield from port.enqueue_blocking(frame)
+        else:
+            port.enqueue(frame)
+
     def _forward(self, frame: Frame, from_port: SwitchPort) -> Generator:
         yield self.env.timeout(self.forward_ns)
         self.counters.add("forwarded")
         if frame.is_broadcast:
             for port in self.ports:
                 if port is not from_port:
-                    port.enqueue(frame)
+                    yield from self._enqueue(port, frame)
             return
         port = self._mac_table.get(frame.dst)
         if port is None:
@@ -156,4 +240,4 @@ class Switch:
         if port is from_port:
             self.counters.add("hairpin_dropped")
             return
-        port.enqueue(frame)
+        yield from self._enqueue(port, frame)

@@ -194,6 +194,7 @@ class ClicModule:
                 send_ack=lambda cum, s=src_node: self._emit_ack(s, cum),
                 ack_every=self.params.ack_every,
                 ack_delay_ns=self.params.ack_delay_ns,
+                stash_limit=self.params.reorder_stash_frames,
                 name=f"{self.node.name}.clic.rx<-{src_node}",
                 counters=Counters(
                     registry=self.kernel.metrics, prefix=f"{self.scope}.rx{src_node}."

@@ -26,7 +26,8 @@ ack (CPU, PCI, wire) is charged through the normal send path.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..sim import Counters, Environment, Event, TimerHandle
 
@@ -243,8 +244,10 @@ class WindowedSender:
         self._in_flight: Dict[int, Any] = {}
         self._sent_at: Dict[int, float] = {}
         self._retx_seqs: Set[int] = set()  # Karn's rule: ambiguous RTTs
-        self._window_waiters: List[Event] = []
-        self._drained_waiters: List[Event] = []
+        # Deques: waiters wake FIFO from the left, and a long stall can
+        # park thousands of producers — list.pop(0) would be O(n) each.
+        self._window_waiters: Deque[Event] = deque()
+        self._drained_waiters: Deque[Event] = deque()
         self._timer: Optional[TimerHandle] = None
         self._retries = 0
         self._failed: Optional[DeliveryFailed] = None
@@ -257,6 +260,14 @@ class WindowedSender:
         #: duplicate cumulative acks before fast retransmit (0 = off)
         self.dupack_threshold = 0
         self._dupacks = 0
+        #: NewReno-style recovery point (RFC 6582): after a fast
+        #: retransmit (or an RTO flood), further dupacks must not fire
+        #: again until the cumulative ack passes the highest sequence
+        #: outstanding at trigger time.  Without it, duplicated frames
+        #: feed a self-sustaining dupack -> fast-retransmit -> duplicate
+        #: -> dupack storm (each resend manufactures the dupacks that
+        #: trigger the next resend).
+        self._recover = -1
         if self.probe is not None:
             self.probe.on_sender(self)
 
@@ -311,16 +322,30 @@ class WindowedSender:
     # -- ack side ----------------------------------------------------------
     def on_ack(self, cumulative_seq: int) -> None:
         """Process a cumulative ack: everything below ``cumulative_seq``."""
-        if cumulative_seq <= self.base:
+        if cumulative_seq < self.base:
+            # Stale: the window already advanced past this ack (it was
+            # delayed or reordered on the wire, or is a duplicated-frame
+            # copy).  It carries no information about the *current* base,
+            # so it must not feed the dupack counter — otherwise jittered
+            # ack arrivals would fire spurious fast retransmissions.
+            self.counters.add("stale_acks")
+            return
+        if cumulative_seq == self.base:
             self.counters.add("duplicate_acks")
             self._dupacks += 1
-            if self.dupack_threshold and self._dupacks >= self.dupack_threshold:
-                # Fast retransmit: resend the oldest unacked packet now,
-                # and re-arm so another burst of dupacks (the resend was
-                # itself lost) can trigger again without waiting for the
-                # full RTO.
+            if (
+                self.dupack_threshold
+                and self._dupacks >= self.dupack_threshold
+                and self.base > self._recover
+            ):
+                # Fast retransmit: resend the oldest unacked packet now.
+                # One trigger per window of data (the ``_recover`` guard):
+                # if the resend is lost too, the RTO repairs it — more
+                # dupacks for the same base are echoes of our own resend
+                # (or of duplicated frames) and must not re-trigger.
                 self._dupacks = 0
                 if self.base in self._in_flight:
+                    self._recover = self.next_seq - 1
                     self.counters.add("fast_retransmits")
                     self._note_retransmitted([self.base])  # Karn: RTT now ambiguous
                     if self.fast_retransmit_listener is not None:
@@ -357,6 +382,18 @@ class WindowedSender:
         if self.ack_listener is not None:
             self.ack_listener(acked)
         self.counters.set("acked_through", cumulative_seq)
+        if self.base <= self._recover and self.base in self._in_flight:
+            # RFC 6582 partial ack: the cumulative ack advanced without
+            # passing the recovery point, so the next hole is known lost
+            # (reordering would have filled it) — resend it now instead
+            # of waiting out the RTO.  Driven only by *new* cumulative
+            # progress, so duplicated ack copies cannot amplify it, and
+            # bounded by one resend per hole per recovery episode.
+            self.counters.add("partial_ack_retransmits")
+            self._note_retransmitted([self.base])  # Karn: RTT now ambiguous
+            if self.probe is not None:
+                self.probe.on_retransmit(self, [self.base], "partial_ack")
+            self.retransmit([self._in_flight[self.base]])
         if self._in_flight:
             self._start_timer()  # restart for the new oldest packet
         else:
@@ -366,7 +403,7 @@ class WindowedSender:
             self._drained_waiters.clear()
         # Wake window waiters that now fit.
         while self._window_waiters and not self.window_full():
-            self._window_waiters.pop(0).succeed()
+            self._window_waiters.popleft().succeed()
 
     # -- timer / retransmission ---------------------------------------------
     def current_timeout_ns(self) -> float:
@@ -418,6 +455,10 @@ class WindowedSender:
             self.timeout_listener()
         seqs = sorted(self._in_flight)
         packets = [self._in_flight[s] for s in seqs]
+        # The go-back-N flood will echo back as dupacks; none of them is
+        # evidence of a *new* hole (RFC 6582 applies the recovery point
+        # to timeout retransmissions for the same reason).
+        self._recover = self.next_seq - 1
         self._note_retransmitted(seqs)  # Karn: all resent, all ambiguous
         if self.probe is not None:
             self.probe.on_retransmit(self, seqs, "rto")
@@ -443,7 +484,7 @@ class WindowedSender:
         self.counters.add("failed")
         if self.probe is not None:
             self.probe.on_fail(self, reason)
-        for event in self._window_waiters + self._drained_waiters:
+        for event in (*self._window_waiters, *self._drained_waiters):
             event.fail(self._failed)
         self._window_waiters.clear()
         self._drained_waiters.clear()
@@ -488,39 +529,59 @@ class OrderedReceiver:
         self._stash: Dict[int, Any] = {}
         self._unacked = 0
         self._ack_timer: Optional[TimerHandle] = None
+        #: highest stash occupancy ever reached (bounded-memory audit)
+        self.max_stash = 0
 
-    def _deliver_next(self, packet: Any) -> None:
-        """Hand the next in-order packet up and advance ``expected``."""
+    def _already_delivered(self, seq: int) -> bool:
+        """True when ``seq`` was already handed to the application.
+
+        Kept as a dedicated seam so the invariant harness can mutate it
+        (break duplicate suppression) and prove the fuzzer catches the
+        resulting exactly-once violation — see ``tests/validate``.
+        """
+        return seq < self.expected
+
+    def _deliver_next(self, seq: int, packet: Any) -> None:
+        """Hand ``packet`` (sequence ``seq``) up and advance ``expected``."""
         if self.probe is not None:
-            self.probe.on_deliver(self, self.expected)
+            self.probe.on_deliver(self, seq)
         self.deliver(packet)
-        self.expected += 1
+        self.expected = seq + 1
         self._unacked += 1
 
     def on_packet(self, seq: int, packet: Any) -> None:
         """Handle an arriving data packet with channel sequence ``seq``."""
-        if seq < self.expected:
-            # Duplicate (a retransmission we already have): re-ack so the
-            # sender's window can advance.
+        if seq <= self.expected and self._already_delivered(seq):
+            # Duplicate (a retransmission, or an extra copy from a
+            # duplication fault): suppress, but re-ack so the sender's
+            # window can advance.
             self.counters.add("duplicates")
             self._emit_ack()
             return
-        if seq == self.expected:
-            self._deliver_next(packet)
+        if seq <= self.expected:
+            self._deliver_next(seq, packet)
             # Drain any stashed successors.
             while self.expected in self._stash:
-                self._deliver_next(self._stash.pop(self.expected))
+                self._deliver_next(self.expected, self._stash.pop(self.expected))
             self.counters.add("delivered_in_order")
             if self._unacked >= self.ack_every:
                 self._emit_ack()
             else:
                 self._schedule_delayed_ack()
             return
-        # Future packet: stash if room (tolerates bonding skew), else drop.
-        if len(self._stash) < self.stash_limit:
-            if seq not in self._stash:
-                self._stash[seq] = packet
+        # Future packet: a duplicate of something already stashed is
+        # suppressed; otherwise stash if room (tolerates bonding skew and
+        # delay jitter).  At capacity the overrun policy is drop-newest
+        # (counted) — the frame is repaired by go-back-N retransmission,
+        # so adversarial reordering can never grow memory without bound.
+        if seq in self._stash:
+            self.counters.add("duplicates")
+        elif len(self._stash) < self.stash_limit:
+            self._stash[seq] = packet
             self.counters.add("stashed")
+            if len(self._stash) > self.max_stash:
+                self.max_stash = len(self._stash)
+                self.counters.set("max_stash", self.max_stash)
         else:
             self.counters.add("stash_overflow_drops")
         # Remind the sender where we are (acts like a duplicate ack).

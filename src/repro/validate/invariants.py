@@ -13,16 +13,30 @@ The catalog (stable ids, referenced by tests and docs):
     sequence the sender submitted — no loss, duplication or reordering.
     A channel whose sender legitimately failed (permanent fault) must
     deliver a strict prefix.
+``delivery.exactly_once``
+    Channel-sequence level: no sequence number was handed to the
+    application twice, however many copies the wire delivered
+    (duplicate suppression held).
+``delivery.in_order``
+    Channel-sequence level: the application-delivery order of sequence
+    numbers is strictly increasing, whatever reordering the wire
+    applied (the reassembly stash held).
 ``delivery.bytes_conserved``
     Per-node CLIC module counters agree with the app-level journals:
     every byte counted sent was submitted, every byte counted received
     was delivered (user -> CLIC accounting).
 ``frames.conserved``
     Frame conservation across NIC -> wire -> switch -> wire -> NIC:
-    per-channel ``offered == delivered + lost`` and the cluster-wide
-    chain sums match hop by hop (nothing vanishes outside a counted
-    drop).  Checked only for converged runs — a livelocked run has
-    frames legitimately in flight at teardown.
+    per-channel ``offered + duplicated == delivered + lost`` (byte
+    conservation net of counted duplicates) and the cluster-wide chain
+    sums match hop by hop (nothing vanishes outside a counted drop).
+    Checked only for converged runs — a livelocked run has frames
+    legitimately in flight at teardown.
+``memory.bounded``
+    No buffer outgrew its configured bound: receiver reorder stashes
+    stayed within ``stash_limit``, switch egress queues within their
+    capacity, NIC rx buffers within the ring — adversarial reordering /
+    duplication / overload cannot grow memory without bound.
 ``acks.monotone``
     Cumulative acks never move backwards: the receiver's emitted acks
     are non-decreasing, every ack the sender applies advances the base
@@ -61,8 +75,11 @@ __all__ = ["Violation", "check_run", "INVARIANTS"]
 #: stable invariant ids (the catalog above)
 INVARIANTS = (
     "delivery.exactly_once_in_order",
+    "delivery.exactly_once",
+    "delivery.in_order",
     "delivery.bytes_conserved",
     "frames.conserved",
+    "memory.bounded",
     "acks.monotone",
     "channel.bookkeeping",
     "rto.karn",
@@ -215,6 +232,27 @@ def _check_sender_log(key: str, sender: Dict[str, Any], out: List[Violation]) ->
 
 def _check_receiver_log(key: str, ch: Dict[str, Any], out: List[Violation]) -> None:
     receiver = ch["receiver"]
+    seqs = receiver.get("delivered_seqs")
+    if seqs is not None:
+        repeats = sorted({s for i, s in enumerate(seqs) if s in seqs[:i]})
+        if repeats:
+            out.append(Violation(
+                "delivery.exactly_once", key,
+                f"seqs delivered to the application twice: {repeats[:16]}",
+            ))
+        disorder = [(a, b) for a, b in zip(seqs, seqs[1:]) if b <= a]
+        if disorder:
+            out.append(Violation(
+                "delivery.in_order", key,
+                f"application-delivery order regressed at {disorder[:16]}",
+            ))
+    if "max_stash" in receiver and "stash_limit" in receiver:
+        if receiver["max_stash"] > receiver["stash_limit"]:
+            out.append(Violation(
+                "memory.bounded", key,
+                f"reorder stash reached {receiver['max_stash']} entries"
+                f" (limit {receiver['stash_limit']})",
+            ))
     acks = receiver["acks_emitted"]
     if any(b < a for a, b in zip(acks, acks[1:])):
         out.append(Violation(
@@ -306,11 +344,12 @@ def _check_frames(record: Dict[str, Any], out: List[Violation]) -> None:
         return
     links = frames["links"]
     for name, c in links.items():
-        if c["frames_offered"] != c["frames"] + c["frames_lost"]:
+        duplicated = c.get("frames_duplicated", 0)
+        if c["frames_offered"] + duplicated != c["frames"] + c["frames_lost"]:
             out.append(Violation(
                 "frames.conserved", name,
-                f"offered {c['frames_offered']} != delivered {c['frames']}"
-                f" + lost {c['frames_lost']}",
+                f"offered {c['frames_offered']} + duplicated {duplicated}"
+                f" != delivered {c['frames']} + lost {c['frames_lost']}",
             ))
 
     def link_sum(direction: str, counter: str) -> float:
@@ -341,11 +380,36 @@ def _check_frames(record: Dict[str, Any], out: List[Violation]) -> None:
             ))
 
 
+def _check_memory(record: Dict[str, Any], out: List[Violation]) -> None:
+    # High-water marks are valid whether or not the run converged
+    # (receiver stashes are audited per channel in _check_receiver_log).
+    frames = record.get("frames")
+    if not frames:
+        return
+    switch = frames.get("switch", {})
+    if "max_queue_depth" in switch and "queue_capacity" in switch:
+        if switch["max_queue_depth"] > switch["queue_capacity"]:
+            out.append(Violation(
+                "memory.bounded", "switch",
+                f"egress queue reached {switch['max_queue_depth']} frames"
+                f" (capacity {switch['queue_capacity']})",
+            ))
+    nic = frames.get("nic", {})
+    if "rx_buffer_peak" in nic and "rx_ring_slots" in nic:
+        if nic["rx_buffer_peak"] > nic["rx_ring_slots"]:
+            out.append(Violation(
+                "memory.bounded", "nic",
+                f"rx buffer reached {nic['rx_buffer_peak']} frames"
+                f" (ring has {nic['rx_ring_slots']} slots)",
+            ))
+
+
 def check_run(record: Dict[str, Any]) -> List[Violation]:
     """Evaluate the full invariant catalog over one run record."""
     out: List[Violation] = []
     _check_delivery(record, out)
     _check_bytes(record, out)
+    _check_memory(record, out)
     for key, ch in record["channels"].items():
         if ch.get("sender") is not None:
             _check_sender_log(key, ch["sender"], out)

@@ -71,6 +71,9 @@ class ReceiverLog:
         self.receiver = receiver
         self.name = receiver.name
         self.delivered = 0
+        #: sequence numbers in application-delivery order — the
+        #: exactly-once / in-order invariants audit this directly
+        self.delivered_seqs: List[int] = []
         #: cumulative-ack values in emission order
         self.acks_emitted: List[int] = []
 
@@ -80,6 +83,9 @@ class ReceiverLog:
             "name": self.name,
             "expected": self.receiver.expected,
             "delivered": self.delivered,
+            "delivered_seqs": list(self.delivered_seqs),
+            "max_stash": self.receiver.max_stash,
+            "stash_limit": self.receiver.stash_limit,
             "acks_emitted": list(self.acks_emitted),
         }
 
@@ -140,8 +146,10 @@ class ProbeRecorder(ChannelProbe):
         self.sender_logs[id(sender)].events.append(("fail", reason))
 
     def on_deliver(self, receiver: OrderedReceiver, seq: int) -> None:
-        """Count one in-order delivery to the upper layer."""
-        self.receiver_logs[id(receiver)].delivered += 1
+        """Record one delivery (and its sequence) to the upper layer."""
+        log = self.receiver_logs[id(receiver)]
+        log.delivered += 1
+        log.delivered_seqs.append(seq)
 
     def on_ack_emitted(self, receiver: OrderedReceiver, cum: int) -> None:
         """Record the cumulative-ack value the receiver emitted."""

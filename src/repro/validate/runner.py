@@ -171,19 +171,26 @@ def _assemble(
 
     links = {
         name: {c: chan.counters.get(c) for c in
-               ("frames_offered", "frames", "frames_lost", "frames_corrupted")}
+               ("frames_offered", "frames", "frames_lost", "frames_corrupted",
+                "frames_duplicated")}
         for name, chan in cluster.channels
     }
     nic_totals = {c: 0.0 for c in
                   ("tx_frames", "rx_frames", "rx_crc_drops",
                    "rx_oversize_drops", "rx_drops")}
+    rx_buffer_peak = 0
     for node in cluster.nodes:
         for nic in node.nics:
             for c in nic_totals:
                 nic_totals[c] += nic.counters.get(c)
+            rx_buffer_peak = max(rx_buffer_peak, nic.rx_buffer_peak)
+    nic_totals["rx_buffer_peak"] = rx_buffer_peak
+    nic_totals["rx_ring_slots"] = cluster.cfg.node.nic.rx_ring_slots
     switch = {c: cluster.switch.counters.get(c) for c in
               ("forwarded", "drops", "blackout_drops", "unknown_dst",
-               "hairpin_dropped")}
+               "hairpin_dropped", "pause_events", "pause_time_ns")}
+    switch["max_queue_depth"] = cluster.switch.max_queue_depth
+    switch["queue_capacity"] = cluster.switch.queue_frames
 
     record: Dict[str, Any] = {
         "scenario": scenario.to_dict(),
@@ -217,6 +224,7 @@ def execute(scenario: Scenario) -> Dict[str, Any]:
         node=_node_config(scenario),
         num_nodes=scenario.num_nodes,
         seed=scenario.seed,
+        switch_backpressure=scenario.backpressure,
     )
     recorder = ProbeRecorder()
     previous = install_channel_probe(recorder)

@@ -62,12 +62,17 @@ class Scenario:
     ack_every: int = 16
     dupack_threshold: int = 3
     adaptive_rto: bool = True
-    #: fault axis: none | uniform | burst | outage | flaps | blackout
+    #: fault axis: none | uniform | burst | outage | flaps | blackout |
+    #: reorder | duplicate | congestion
     fault_kind: str = "none"
-    #: loss probability (uniform) or long-run average rate (burst)
+    #: loss probability (uniform), long-run average rate (burst), or
+    #: per-frame jitter/duplication probability (reorder/duplicate)
     fault_rate: float = 0.0
-    #: extra fault parameters (outage timing, flap counts, burstiness)
+    #: extra fault parameters (outage timing, flap counts, burstiness,
+    #: jitter bound, copy count, congestion shape)
     fault_args: Dict[str, float] = field(default_factory=dict)
+    #: switch egress-exhaustion policy ("drop" | "pause")
+    backpressure: str = "drop"
     messages: Tuple[Message, ...] = ()
 
     # -- derived ---------------------------------------------------------
@@ -90,6 +95,24 @@ class Scenario:
             return FaultPlan.bursty(
                 self.fault_rate,
                 mean_burst_frames=self.fault_args.get("mean_burst_frames", 8.0),
+            )
+        if self.fault_kind == "reorder":
+            return FaultPlan.reordering(
+                self.fault_rate,
+                max_delay_ns=self.fault_args.get("max_delay_ns", 200_000.0),
+            )
+        if self.fault_kind == "duplicate":
+            return FaultPlan.duplication(
+                self.fault_rate,
+                max_copies=int(self.fault_args.get("max_copies", 1)),
+            )
+        if self.fault_kind == "congestion":
+            start = self.fault_args["start_ns"]
+            return FaultPlan.congestion_spike(
+                start,
+                start + self.fault_args["duration_ns"],
+                bandwidth_factor=self.fault_args.get("factor", 1.0),
+                extra_latency_ns=self.fault_args.get("extra_latency_ns", 0.0),
             )
         start = self.fault_args["start_ns"]
         window = OutageWindow(start, start + self.fault_args["duration_ns"])
@@ -161,7 +184,8 @@ def _faults(rng, protocol: str, num_nodes: int) -> Tuple[str, float, Dict[str, f
     """Draw the fault axis.  TCP scenarios skip permanent faults: the
     era-faithful 200 ms minimum RTO puts TCP's retry-exhaustion horizon
     (~minutes of simulated backoff) beyond the harness budget."""
-    kinds = ["none", "uniform", "uniform", "burst", "outage", "flaps", "blackout"]
+    kinds = ["none", "uniform", "uniform", "burst", "outage", "flaps", "blackout",
+             "reorder", "duplicate", "congestion"]
     if protocol == "clic":
         kinds.append("dead")  # permanent outage -> peer death expected
     kind = str(rng.choice(kinds))
@@ -172,6 +196,21 @@ def _faults(rng, protocol: str, num_nodes: int) -> Tuple[str, float, Dict[str, f
     if kind == "burst":
         return "burst", round(float(rng.uniform(0.01, 0.08)), 4), {
             "mean_burst_frames": float(rng.choice([4.0, 8.0, 16.0])),
+        }
+    if kind == "reorder":
+        return "reorder", round(float(rng.uniform(0.05, 0.5)), 4), {
+            "max_delay_ns": float(rng.choice([50_000.0, 200_000.0, 1_000_000.0])),
+        }
+    if kind == "duplicate":
+        return "duplicate", round(float(rng.uniform(0.05, 0.4)), 4), {
+            "max_copies": float(int(rng.integers(1, 4))),
+        }
+    if kind == "congestion":
+        return "congestion", 0.0, {
+            "start_ns": round(float(rng.uniform(50_000.0, 2_000_000.0)), 1),
+            "duration_ns": round(float(rng.uniform(200_000.0, 20_000_000.0)), 1),
+            "factor": float(rng.choice([2.0, 4.0, 8.0])),
+            "extra_latency_ns": float(rng.choice([0.0, 100_000.0, 500_000.0])),
         }
     node = int(rng.integers(0, num_nodes))
     start = round(float(rng.uniform(50_000.0, 2_000_000.0)), 1)
@@ -211,5 +250,6 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
         fault_kind=fault_kind,
         fault_rate=fault_rate,
         fault_args=fault_args,
+        backpressure=str(rng.choice(["drop", "drop", "pause"])),
         messages=_traffic(rng, num_nodes, protocol),
     )

@@ -44,6 +44,7 @@ def _cost(s: Scenario) -> Tuple[int, int, int, int]:
         s.dupack_threshold != 3,
         not s.adaptive_rto,
         s.fault_kind != "none",
+        s.backpressure != "drop",
     ])
     return (
         len(s.messages),
@@ -87,7 +88,8 @@ def _candidates(s: Scenario) -> Iterator[Scenario]:
     # 4. config axes back to defaults
     for field, default in (("mtu", 1500), ("zero_copy", True), ("coalescing", True),
                            ("window_frames", 64), ("ack_every", 16),
-                           ("dupack_threshold", 3), ("adaptive_rto", True)):
+                           ("dupack_threshold", 3), ("adaptive_rto", True),
+                           ("backpressure", "drop")):
         if getattr(s, field) != default:
             yield replace(s, **{field: default})
     # 5. drop or tame the fault axis

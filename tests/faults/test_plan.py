@@ -6,6 +6,9 @@ import pytest
 from repro.faults import (
     BurstLoss,
     ChannelFaults,
+    CongestionWindow,
+    DelayJitter,
+    Duplication,
     FaultPlan,
     FrameVerdict,
     GilbertElliottModel,
@@ -139,3 +142,138 @@ def test_channel_faults_corruption_verdict():
     assert not FrameVerdict.CORRUPT.dropped  # delivered, then killed by CRC
     assert FrameVerdict.LOST.dropped and FrameVerdict.OUTAGE.dropped
     assert eng.counters.get("corrupted") == 1
+
+
+# -- adversarial-delivery spec validation ------------------------------------
+def test_delay_jitter_validation():
+    with pytest.raises(ValueError):
+        DelayJitter(rate=1.5, max_delay_ns=100.0)
+    with pytest.raises(ValueError):
+        DelayJitter(rate=-0.1, max_delay_ns=100.0)
+    with pytest.raises(ValueError):
+        DelayJitter(rate=0.5, max_delay_ns=0.0)
+    with pytest.raises(ValueError):
+        DelayJitter(rate=0.5, max_delay_ns=-10.0)
+    assert DelayJitter(rate=0.0, max_delay_ns=1.0).rate == 0.0  # bounds are legal
+
+
+def test_duplication_validation():
+    with pytest.raises(ValueError):
+        Duplication(rate=2.0)
+    with pytest.raises(ValueError):
+        Duplication(rate=-0.5)
+    with pytest.raises(ValueError):
+        Duplication(rate=0.5, max_copies=0)
+    assert Duplication(rate=1.0, max_copies=1).max_copies == 1
+
+
+def test_congestion_window_validation():
+    w = OutageWindow(0.0, 100.0)
+    with pytest.raises(ValueError):
+        CongestionWindow(window=w, bandwidth_factor=0.5)
+    with pytest.raises(ValueError):
+        CongestionWindow(window=w, extra_latency_ns=-1.0)
+    with pytest.raises(ValueError):
+        CongestionWindow(window=w)  # a no-op spike is a configuration bug
+    ok = CongestionWindow(window=w, bandwidth_factor=4.0)
+    assert ok.extra_latency_ns == 0.0
+
+
+def test_switch_blackout_validation():
+    with pytest.raises(ValueError):
+        SwitchBlackout(window=OutageWindow(0.0, 1.0), node=-1)
+    with pytest.raises(ValueError):
+        SwitchBlackout(window=OutageWindow(0.0, 1.0), channel=-2)
+
+
+def test_new_families_make_a_spec_active():
+    assert not LinkFaultSpec().active
+    assert LinkFaultSpec(jitter=DelayJitter(rate=0.1, max_delay_ns=1.0)).active
+    assert LinkFaultSpec(duplicate=Duplication(rate=0.1)).active
+    assert LinkFaultSpec(congestion=(
+        CongestionWindow(window=OutageWindow(0.0, 1.0), bandwidth_factor=2.0),
+    )).active
+
+
+def test_adversarial_plan_constructors():
+    reorder = FaultPlan.reordering(0.2, max_delay_ns=50_000.0)
+    assert reorder.default_link.jitter == DelayJitter(rate=0.2, max_delay_ns=50_000.0)
+
+    dup = FaultPlan.duplication(0.1, max_copies=3)
+    assert dup.default_link.duplicate == Duplication(rate=0.1, max_copies=3)
+
+    spike = FaultPlan.congestion_spike(1_000.0, 2_000.0, bandwidth_factor=8.0,
+                                       extra_latency_ns=500.0)
+    (cw,) = spike.default_link.congestion
+    assert cw.window == OutageWindow(1_000.0, 2_000.0)
+    assert cw.bandwidth_factor == 8.0 and cw.extra_latency_ns == 500.0
+
+    with pytest.raises(ValueError):
+        FaultPlan.reordering(0.2, max_delay_ns=0.0)
+    with pytest.raises(ValueError):
+        FaultPlan.duplication(1.2)
+    with pytest.raises(ValueError):
+        FaultPlan.congestion_spike(0.0, 1.0)  # neither knob engaged
+
+
+# -- ChannelFaults.decide ----------------------------------------------------
+def test_decide_draw_order_matches_judge_for_legacy_plans():
+    """A loss-only plan must consume the exact same RNG sequence through
+    decide() as through judge() — the bit-reproducibility contract."""
+    spec = LinkFaultSpec(loss_rate=0.3, corrupt_rate=0.1)
+    a = ChannelFaults(spec, rng=np.random.default_rng(42))
+    b = ChannelFaults(spec, rng=np.random.default_rng(42))
+    verdicts_judge = [a.judge(float(t)) for t in range(200)]
+    decisions = [b.decide(float(t)) for t in range(200)]
+    assert [d.verdict for d in decisions] == verdicts_judge
+    assert all(d.copies == 1 and d.extra_delay_ns == 0.0 for d in decisions)
+
+
+def test_decide_jitter_bounds_and_counter():
+    spec = LinkFaultSpec(jitter=DelayJitter(rate=1.0, max_delay_ns=5_000.0))
+    eng = ChannelFaults(spec, rng=np.random.default_rng(3))
+    decisions = [eng.decide(float(t)) for t in range(100)]
+    assert all(0.0 <= d.extra_delay_ns < 5_000.0 for d in decisions)
+    assert any(d.extra_delay_ns > 0.0 for d in decisions)
+    assert eng.counters.get("jittered") == 100
+
+
+def test_decide_duplication_copy_bounds():
+    spec = LinkFaultSpec(duplicate=Duplication(rate=1.0, max_copies=3))
+    eng = ChannelFaults(spec, rng=np.random.default_rng(5))
+    copies = [eng.decide(float(t)).copies for t in range(200)]
+    assert set(copies) <= {2, 3, 4}  # 1 original + [1, max_copies] extras
+    assert len(set(copies)) > 1
+    assert eng.counters.get("duplicated") == 200
+    assert eng.counters.get("dup_copies") == sum(c - 1 for c in copies)
+
+
+def test_decide_dropped_frames_never_draw_for_jitter_or_duplication():
+    """Loss draws happen first; jitter/dup draw only for delivered frames,
+    so two engines differing only in delivery fate stay draw-aligned."""
+    spec = LinkFaultSpec(
+        loss_rate=1.0,
+        jitter=DelayJitter(rate=1.0, max_delay_ns=100.0),
+        duplicate=Duplication(rate=1.0),
+    )
+    eng = ChannelFaults(spec, rng=np.random.default_rng(1))
+    d = eng.decide(0.0)
+    assert d.dropped and d.copies == 1 and d.extra_delay_ns == 0.0
+    assert eng.counters.get("jittered") == 0
+    assert eng.counters.get("duplicated") == 0
+
+
+def test_congestion_is_deterministic_and_zero_draw():
+    w1 = CongestionWindow(window=OutageWindow(100.0, 300.0), bandwidth_factor=4.0,
+                          extra_latency_ns=1_000.0)
+    w2 = CongestionWindow(window=OutageWindow(200.0, 400.0), bandwidth_factor=2.0,
+                          extra_latency_ns=500.0)
+    eng = ChannelFaults(LinkFaultSpec(congestion=(w1, w2)), rng=None)  # no RNG needed
+    assert eng.congestion_factor(50.0) == 1.0
+    assert eng.congestion_factor(150.0) == 4.0
+    assert eng.congestion_factor(250.0) == 8.0  # overlap compounds
+    assert eng.congestion_latency_ns(250.0) == 1_500.0  # overlap sums
+    assert eng.congestion_factor(350.0) == 2.0
+    d = eng.decide(250.0)
+    assert d.congested and d.verdict is FrameVerdict.DELIVER
+    assert eng.counters.get("congested") == 1

@@ -235,3 +235,140 @@ def test_full_duplex_link_directions_independent():
     env.run()
     # Both directions complete at the same time: no shared serialization.
     assert t_a[0] == pytest.approx(t_b[0])
+
+
+# -- adversarial delivery on the wire ----------------------------------------
+def _faulted_channel(env, spec, seed=7, tracer=None):
+    from repro.faults import ChannelFaults
+
+    rng = RngStreams(seed).stream("loss.test")
+    return Channel(env, LINK, "c", faults=ChannelFaults(spec, rng=rng),
+                   tracer=tracer)
+
+
+def test_channel_duplication_delivers_extra_copies():
+    from repro.faults import Duplication, LinkFaultSpec
+
+    env = Environment()
+    chan = _faulted_channel(env, LinkFaultSpec(duplicate=Duplication(rate=1.0)))
+    arrivals = []
+    chan.connect(lambda f: arrivals.append(f.frame_id))
+
+    def send(env):
+        yield from chan.transmit(make_frame(100))
+
+    env.process(send(env))
+    env.run()
+    assert len(arrivals) == 2  # original + 1 forced copy
+    assert chan.counters.get("frames_offered") == 1
+    assert chan.counters.get("frames_duplicated") == 1
+    assert chan.counters.get("frames") == 2  # every delivered copy counts
+    # conservation: offered + duplicated == delivered + lost
+    assert (chan.counters.get("frames_offered")
+            + chan.counters.get("frames_duplicated")
+            == chan.counters.get("frames") + chan.counters.get("frames_lost"))
+
+
+def test_channel_jitter_can_reorder_frames():
+    """With jitter ~ the serialization time, some successor overtakes a
+    jittered frame over a long enough burst."""
+    from repro.faults import DelayJitter, LinkFaultSpec
+
+    env = Environment()
+    one = frame_time_ns(make_frame(1500), LINK)
+    spec = LinkFaultSpec(jitter=DelayJitter(rate=0.5, max_delay_ns=4 * one))
+    chan = _faulted_channel(env, spec)
+    arrivals = []
+    chan.connect(lambda f: arrivals.append(f.payload))
+
+    def send(env, n):
+        yield from chan.transmit(
+            Frame(src=MacAddress(1), dst=MacAddress(2),
+                  ethertype=EtherType.CLIC, payload_bytes=1500, payload=n))
+
+    def burst(env):
+        for n in range(40):
+            yield from send(env, n)
+
+    env.process(burst(env))
+    env.run()
+    assert sorted(arrivals) == list(range(40))  # nothing lost
+    assert arrivals != sorted(arrivals)  # ...but not in order
+    assert chan.counters.get("frames_lost") == 0
+
+
+def test_wire_drop_and_dup_journey_hops():
+    from types import SimpleNamespace
+
+    from repro.faults import Duplication, LinkFaultSpec
+
+    class _JourneyLog:
+        """Minimal journey index standing in for the cluster tracer's."""
+
+        def __init__(self):
+            self.hops = []
+
+        def hop(self, payload, hop, scope, **detail):
+            self.hops.append((hop, detail))
+
+    env = Environment()
+    log = _JourneyLog()
+    spec = LinkFaultSpec(loss_rate=0.5, duplicate=Duplication(rate=1.0))
+    chan = _faulted_channel(env, spec, tracer=SimpleNamespace(journeys=log))
+    chan.connect(lambda f: None)
+
+    def burst(env):
+        for _ in range(30):
+            yield from chan.transmit(make_frame(100))
+
+    env.process(burst(env))
+    env.run()
+    kinds = {h for h, _ in log.hops}
+    assert kinds == {"wire_drop", "wire_dup"}
+    drop_reasons = {d["reason"] for h, d in log.hops if h == "wire_drop"}
+    assert drop_reasons == {"lost"}
+    assert all(d["copies"] >= 2 for h, d in log.hops if h == "wire_dup")
+
+
+def test_congestion_stretches_serialization_and_adds_latency():
+    from repro.faults import CongestionWindow, LinkFaultSpec, OutageWindow
+    from repro.faults import ChannelFaults
+
+    env = Environment()
+    one = frame_time_ns(make_frame(1500), LINK)
+    spike = CongestionWindow(window=OutageWindow(0.0, 10 * one),
+                             bandwidth_factor=4.0, extra_latency_ns=2_000.0)
+    chan = Channel(env, LINK, "c",
+                   faults=ChannelFaults(LinkFaultSpec(congestion=(spike,)), rng=None))
+    arrivals = []
+    chan.connect(lambda f: arrivals.append(env.now))
+
+    def send(env):
+        yield from chan.transmit(make_frame(1500))
+        return env.now
+
+    done = env.run(env.process(send(env)))
+    env.run()
+    # the wire is held 4x longer, and delivery picks up the queueing delay
+    assert done == pytest.approx(4 * one)
+    assert arrivals[0] == pytest.approx(4 * one + LINK.propagation_ns + 2_000.0)
+
+
+def test_congestion_over_leaves_timing_untouched():
+    from repro.faults import ChannelFaults, CongestionWindow, LinkFaultSpec, OutageWindow
+
+    env = Environment()
+    spike = CongestionWindow(window=OutageWindow(0.0, 1.0), bandwidth_factor=8.0)
+    chan = Channel(env, LINK, "c",
+                   faults=ChannelFaults(LinkFaultSpec(congestion=(spike,)), rng=None))
+    arrivals = []
+    chan.connect(lambda f: arrivals.append(env.now))
+    one = frame_time_ns(make_frame(1500), LINK)
+
+    def send(env):
+        yield env.timeout(100.0)  # past the spike
+        yield from chan.transmit(make_frame(1500))
+
+    env.process(send(env))
+    env.run()
+    assert arrivals[0] == pytest.approx(100.0 + one + LINK.propagation_ns)

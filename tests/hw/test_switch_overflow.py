@@ -68,3 +68,119 @@ def test_no_livelock_with_per_frame_irq_driver():
     d0, d1 = p0.run(a), p1.run(b)
     cluster.env.run(cluster.env.all_of([d0, d1]))
     assert got == [500_000]
+
+
+# -- port-level backpressure unit tests --------------------------------------
+from types import SimpleNamespace
+
+from repro.config import LinkParams
+from repro.faults import OutageWindow
+from repro.hw import Channel, Switch
+from repro.hw.nic.frames import EtherType, Frame, MacAddress, frame_time_ns
+from repro.sim import Environment
+
+LINK = LinkParams()
+
+
+class _JourneyLog:
+    """Captures journey hops the way the real journey index records them."""
+
+    def __init__(self):
+        self.hops = []
+
+    def hop(self, payload, hop, scope, **detail):
+        self.hops.append((hop, detail))
+
+
+def _switch_with_port(queue_frames, backpressure="drop", tracer=None):
+    env = Environment()
+    switch = Switch(env, LINK, queue_frames=queue_frames, tracer=tracer,
+                    backpressure=backpressure)
+    egress = Channel(env, LINK, "sw->n1")
+    egress.connect(lambda f: None)
+    port = switch.attach(egress, MacAddress(1))
+    return env, switch, port
+
+
+def _frame(n=0):
+    return Frame(src=MacAddress(2), dst=MacAddress(1), ethertype=EtherType.CLIC,
+                 payload_bytes=1500, payload=n)
+
+
+def test_enqueue_drops_at_exactly_full_capacity():
+    """The overflow check is >= capacity: the first frame past a full
+    queue is dropped, counted, and never touches the queue."""
+    journeys = _JourneyLog()
+    env, switch, port = _switch_with_port(
+        2, tracer=SimpleNamespace(journeys=journeys))
+    port.enqueue(_frame(0))
+    port.enqueue(_frame(1))
+    assert len(port.queue.items) == 2
+    assert switch.counters.get("drops") == 0
+    port.enqueue(_frame(2))
+    assert len(port.queue.items) == 2  # untouched
+    assert switch.counters.get("drops") == 1
+    drop_hops = [d for h, d in journeys.hops if h == "switch_drop"]
+    assert drop_hops == [{"port": 0, "reason": "overflow"}]
+
+
+def test_enqueue_refreshes_depth_gauges():
+    env, switch, port = _switch_with_port(4)
+    port.enqueue(_frame(0))
+    port.enqueue(_frame(1))
+    assert switch.counters.level("port0_depth") == 2
+    assert switch.counters.level("max_queue_depth") == 2
+    assert port.max_depth == 2
+    assert switch.max_queue_depth == 2
+
+
+def test_overflow_drop_does_not_move_the_depth_gauge():
+    env, switch, port = _switch_with_port(1)
+    port.enqueue(_frame(0))
+    port.enqueue(_frame(1))  # dropped
+    assert switch.counters.level("port0_depth") == 1
+    assert port.max_depth == 1
+
+
+def test_pause_mode_blocks_instead_of_dropping():
+    """With capacity 1 and a busy transmitter, the third frame finds the
+    queue full: the producer stalls (counted, timed) and no frame is
+    shed — everything arrives, in order."""
+    env, switch, port = _switch_with_port(1, backpressure="pause")
+    arrivals = []
+    port.egress._sink = lambda f: arrivals.append(f.payload)
+
+    def producer(env):
+        for n in range(3):
+            yield from port.enqueue_blocking(_frame(n))
+
+    env.process(producer(env))
+    env.run()
+    assert arrivals == [0, 1, 2]
+    assert switch.counters.get("drops") == 0
+    assert switch.counters.get("pause_events") == 1
+    # the stall lasted one egress serialization, not an instant
+    assert switch.counters.get("pause_time_ns") == pytest.approx(
+        frame_time_ns(_frame(0), LINK))
+
+
+def test_pause_mode_still_drops_during_blackout():
+    """A blacked-out port is dark, not slow: pause mode must not park
+    frames destined for a dead egress."""
+    env, switch, port = _switch_with_port(8, backpressure="pause")
+    switch.set_blackouts(port, [OutageWindow(0.0, 1_000.0)])
+
+    def producer(env):
+        yield from port.enqueue_blocking(_frame(0))
+
+    env.process(producer(env))
+    env.run()
+    assert switch.counters.get("blackout_drops") == 1
+    assert switch.counters.get("pause_events") == 0
+    assert port.queue.items == []
+
+
+def test_switch_rejects_unknown_backpressure_mode():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Switch(env, LINK, backpressure="reject")

@@ -97,7 +97,7 @@ def test_retransmit_genealogy_under_injected_loss(lossy_run):
     for j in retx_journeys:
         by_index = {e["i"]: e for e in j["events"]}
         for child in j["retransmits"]:
-            assert child["kind"] in ("rto", "fast")
+            assert child["kind"] in ("rto", "fast", "partial_ack")
             parent = by_index[child["parent"]]
             # the child links back to the *original* transmission of the
             # same packet, which necessarily happened earlier

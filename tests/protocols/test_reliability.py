@@ -349,8 +349,8 @@ def test_acked_through_is_a_gauge_level():
     assert sender.counters.level("acked_through") == 5
 
 
-# -- fast retransmit: re-arms per window, not once per connection -------------
-def test_fast_retransmit_rearms_within_same_stall():
+# -- fast retransmit: once per window of data (RFC 6582 recovery point) -------
+def test_fast_retransmit_fires_once_per_window():
     env = Environment()
     retx = []
     sender, _ = make_sender(env, window=8, timeout=1e9, sink=retx)
@@ -358,13 +358,32 @@ def test_fast_retransmit_rearms_within_same_stall():
     for _ in range(4):
         sender.register("p")
     for _ in range(3):
-        sender.on_ack(0)  # three dupacks -> first fast retransmit
+        sender.on_ack(0)  # three dupacks -> fast retransmit
     assert sender.counters.get("fast_retransmits") == 1
-    # The resent base was ALSO lost: another burst of dupacks must be able
-    # to fire again without waiting for the full RTO (regression: the
-    # counter used to stick at == threshold and never re-trigger).
-    for _ in range(3):
+    # More dupacks for the same base are echoes of our own resend (or of
+    # duplicated frames on the wire): re-triggering would hand a duplicate
+    # storm a positive feedback loop, so recovery waits for the RTO.
+    for _ in range(6):
         sender.on_ack(0)
+    assert sender.counters.get("fast_retransmits") == 1
+    assert len(retx) == 1
+
+
+def test_fast_retransmit_rearms_after_recovery_completes():
+    env = Environment()
+    retx = []
+    sender, _ = make_sender(env, window=8, timeout=1e9, sink=retx)
+    sender.dupack_threshold = 3
+    for _ in range(4):
+        sender.register("p")
+    for _ in range(3):
+        sender.on_ack(0)  # recovery point = highest outstanding seq (3)
+    assert sender.counters.get("fast_retransmits") == 1
+    sender.on_ack(4)  # cumulative ack passes the recovery point
+    for _ in range(2):
+        sender.register("p")
+    for _ in range(3):
+        sender.on_ack(4)  # a stall in the NEW window may trigger again
     assert sender.counters.get("fast_retransmits") == 2
     assert len(retx) == 2
 
@@ -409,3 +428,79 @@ def test_abort_fails_waiters_and_rejects_future_sends():
     assert sender.failed
     with pytest.raises(DeliveryFailed):
         sender.register("more")
+
+
+# -- stale acks vs duplicate acks ---------------------------------------------
+def test_stale_ack_counted_separately_from_dupacks():
+    env = Environment()
+    sender, _ = make_sender(env, window=8, timeout=1e9)
+    for _ in range(6):
+        sender.register("p")
+    sender.on_ack(3)
+    sender.on_ack(1)  # late/reordered ack from the past
+    assert sender.counters.get("stale_acks") == 1
+    assert sender.counters.get("duplicate_acks") == 0
+
+
+def test_stale_acks_never_trigger_fast_retransmit():
+    """Jittered wires deliver old acks late; they carry no evidence about
+    the current window and must not fire spurious fast retransmits."""
+    env = Environment()
+    retx = []
+    sender, _ = make_sender(env, window=8, timeout=1e9, sink=retx)
+    sender.dupack_threshold = 3
+    for _ in range(6):
+        sender.register("p")
+    sender.on_ack(4)
+    for _ in range(5):
+        sender.on_ack(2)  # all stale
+    assert sender.counters.get("fast_retransmits") == 0
+    assert retx == []
+    assert sender.counters.get("stale_acks") == 5
+
+
+def test_window_waiters_wake_in_fifo_order():
+    env = Environment()
+    sender, _ = make_sender(env, window=1, timeout=1e9)
+    sender.register("head")
+    order = []
+
+    def producer(env, n):
+        yield from sender.reserve()
+        sender.register(n)
+        order.append(n)
+
+    for n in range(5):
+        env.process(producer(env, n))
+
+    def acker(env):
+        for ack in range(1, 7):
+            yield env.timeout(10)
+            sender.on_ack(ack)
+
+    env.process(acker(env))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+# -- out-of-order stash accounting --------------------------------------------
+def test_duplicate_of_stashed_packet_counts_as_duplicate():
+    env = Environment()
+    receiver, delivered, acks = make_receiver(env, ack_every=10)
+    receiver.on_packet(2, "c")
+    receiver.on_packet(2, "c")  # wire duplication of a stashed frame
+    assert receiver.counters.get("stashed") == 1
+    assert receiver.counters.get("duplicates") == 1
+    assert delivered == []
+
+
+def test_max_stash_high_water_mark():
+    env = Environment()
+    receiver, delivered, acks = make_receiver(env, ack_every=10, stash=8)
+    for seq in (3, 1, 2):
+        receiver.on_packet(seq, seq)
+    assert receiver.max_stash == 3
+    assert receiver.counters.level("max_stash") == 3
+    receiver.on_packet(0, 0)  # drains the stash completely
+    assert delivered == [0, 1, 2, 3]
+    assert receiver.max_stash == 3  # high-water mark survives the drain

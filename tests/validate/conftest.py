@@ -39,6 +39,9 @@ def make_receiver_state(**overrides):
         "name": "clic0->1",
         "expected": 1,
         "delivered": 1,
+        "delivered_seqs": [0],
+        "max_stash": 0,
+        "stash_limit": 64,
         "acks_emitted": [1],
     }
     state.update(overrides)
@@ -66,9 +69,12 @@ def make_record(**overrides):
                 "1.0.down": _link(1),  # data delivered to node 1
             },
             "nic": {"tx_frames": 2, "rx_frames": 2, "rx_crc_drops": 0,
-                    "rx_oversize_drops": 0, "rx_drops": 0},
+                    "rx_oversize_drops": 0, "rx_drops": 0,
+                    "rx_buffer_peak": 1, "rx_ring_slots": 256},
             "switch": {"forwarded": 2, "drops": 0, "blackout_drops": 0,
-                       "unknown_dst": 0, "hairpin_dropped": 0},
+                       "unknown_dst": 0, "hairpin_dropped": 0,
+                       "pause_events": 0, "pause_time_ns": 0.0,
+                       "max_queue_depth": 1, "queue_capacity": 512},
         },
         "final_now": 5_000_000.0,
         "procs_unfinished": [],
@@ -82,12 +88,13 @@ def make_record(**overrides):
     return record
 
 
-def _link(frames, lost=0, corrupted=0):
+def _link(frames, lost=0, corrupted=0, duplicated=0):
     return {
-        "frames_offered": frames + lost,
+        "frames_offered": frames + lost - duplicated,
         "frames": frames,
         "frames_lost": lost,
         "frames_corrupted": corrupted,
+        "frames_duplicated": duplicated,
     }
 
 

@@ -10,7 +10,7 @@ import pytest
 from repro.validate import INVARIANTS, Violation, check_run
 from repro.validate.scenario import FOREVER_NS
 
-from .conftest import make_sender_state
+from .conftest import _link, make_sender_state
 
 
 def ids(violations):
@@ -22,7 +22,7 @@ def test_clean_record_passes_whole_catalog(clean_record):
 
 
 def test_catalog_is_stable():
-    assert len(INVARIANTS) == 10
+    assert len(INVARIANTS) == 13
     assert len(set(INVARIANTS)) == len(INVARIANTS)
 
 
@@ -82,6 +82,88 @@ def test_failed_channel_must_deliver_a_prefix(record_factory):
 
     ch["received"] = [[1, 500]]  # not a prefix: the receiver skipped ahead
     assert "delivery.exactly_once_in_order" in ids(check_run(record))
+
+
+# ---------------------------------------------------------------------------
+# delivery.exactly_once / delivery.in_order (channel-sequence level)
+# ---------------------------------------------------------------------------
+def test_seq_delivered_twice(record_factory):
+    record = record_factory()
+    rx = record["channels"]["0->1"]["receiver"]
+    rx["delivered_seqs"] = [0, 1, 1]
+    rx["delivered"] = 3
+    rx["expected"] = 2
+    rx["acks_emitted"] = [2]
+    got = ids(check_run(record))
+    assert "delivery.exactly_once" in got
+    assert "delivery.in_order" in got  # a repeat also regresses the order
+
+
+def test_seq_delivered_out_of_order(record_factory):
+    record = record_factory()
+    rx = record["channels"]["0->1"]["receiver"]
+    rx["delivered_seqs"] = [1, 0]
+    rx["delivered"] = 2
+    rx["expected"] = 2
+    rx["acks_emitted"] = [2]
+    got = ids(check_run(record))
+    assert "delivery.in_order" in got
+    assert "delivery.exactly_once" not in got
+
+
+def test_gappy_but_increasing_seqs_pass_in_order(record_factory):
+    """Order and uniqueness are judged, not contiguity — a failed
+    channel legitimately delivers a prefix with later seqs missing."""
+    record = record_factory()
+    rx = record["channels"]["0->1"]["receiver"]
+    rx["delivered_seqs"] = [0]
+    assert check_run(record) == []
+
+
+def test_record_without_delivered_seqs_skips_the_rules(record_factory):
+    record = record_factory()
+    del record["channels"]["0->1"]["receiver"]["delivered_seqs"]
+    assert check_run(record) == []
+
+
+# ---------------------------------------------------------------------------
+# memory.bounded
+# ---------------------------------------------------------------------------
+def test_stash_overran_its_limit(record_factory):
+    record = record_factory()
+    rx = record["channels"]["0->1"]["receiver"]
+    rx["max_stash"] = 65
+    rx["stash_limit"] = 64
+    assert ids(check_run(record)) == ["memory.bounded"]
+
+
+def test_stash_at_limit_is_legal(record_factory):
+    record = record_factory()
+    rx = record["channels"]["0->1"]["receiver"]
+    rx["max_stash"] = 64
+    rx["stash_limit"] = 64
+    assert check_run(record) == []
+
+
+def test_switch_queue_overran_capacity(record_factory):
+    record = record_factory()
+    record["frames"]["switch"]["max_queue_depth"] = 513
+    assert ids(check_run(record)) == ["memory.bounded"]
+
+
+def test_nic_rx_buffer_overran_ring(record_factory):
+    record = record_factory()
+    record["frames"]["nic"]["rx_buffer_peak"] = 257
+    assert ids(check_run(record)) == ["memory.bounded"]
+
+
+def test_memory_bounds_checked_even_when_unconverged(record_factory):
+    record = record_factory()
+    record["procs_unfinished"] = [{"name": "fuzz-tx0", "node": 0, "role": "tx"}]
+    record["frames"]["switch"]["max_queue_depth"] = 513
+    got = ids(check_run(record))
+    assert "memory.bounded" in got
+    assert "sim.convergence" in got
 
 
 # ---------------------------------------------------------------------------
@@ -311,6 +393,22 @@ def test_switch_forwarded_mismatch(record_factory):
 def test_unknown_destination_is_a_wiring_bug(record_factory):
     record = record_factory()
     record["frames"]["switch"]["unknown_dst"] = 1
+    assert "frames.conserved" in ids(check_run(record))
+
+
+def test_duplicated_frames_balance(record_factory):
+    """Conservation holds *net of counted duplicates*: an extra copy on
+    the wire is fine as long as the link counted it."""
+    record = record_factory()
+    record["frames"]["links"]["1.0.down"] = _link(2, duplicated=1)
+    record["frames"]["nic"]["rx_frames"] = 3
+    assert check_run(record) == []
+
+
+def test_uncounted_duplicate_is_a_violation(record_factory):
+    record = record_factory()
+    # an extra copy was delivered but frames_duplicated never moved
+    record["frames"]["links"]["1.0.down"]["frames"] = 2
     assert "frames.conserved" in ids(check_run(record))
 
 

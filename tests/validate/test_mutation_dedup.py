@@ -1,0 +1,93 @@
+"""Acceptance loop for the duplicate-suppression seam: a deliberately
+broken receiver is caught by the fuzzer's adversarial-delivery axes,
+shrunk to a minimal reproducer, and replayed bit-identically — while the
+same artifact detects (by mismatching) a clean build.
+
+The mutation no-ops :meth:`OrderedReceiver._already_delivered`, the seam
+the receiver uses to recognize retransmitted / duplicated frames it has
+already handed up.  Without it, stale copies are re-delivered to the
+application, which the ``delivery.exactly_once`` invariant must flag
+(the re-delivery usually drags ``delivery.in_order`` down with it).
+Duplicate traffic comes from the ``duplicate`` fault family, so this is
+also the end-to-end proof that the new fault axes actually exercise the
+receiver's degraded-mode machinery.
+"""
+
+import json
+
+import pytest
+
+from repro.protocols.reliability import OrderedReceiver
+from repro.validate.__main__ import main
+from repro.validate.scenario import SCHEMA
+
+#: wide enough to reach the seed-7 ``duplicate`` scenarios (indices 6, 9)
+BUDGET = 10
+SEED = 7
+
+
+def _break_dedup():
+    original = OrderedReceiver._already_delivered
+    OrderedReceiver._already_delivered = lambda self, seq: False
+    return original
+
+
+@pytest.fixture(scope="module")
+def dedup_campaign(tmp_path_factory):
+    """One fuzz campaign run with duplicate suppression broken."""
+    out = tmp_path_factory.mktemp("replays")
+    original = _break_dedup()
+    try:
+        rc = main(["fuzz", "--budget", str(BUDGET), "--seed", str(SEED),
+                   "--out", str(out)])
+    finally:
+        OrderedReceiver._already_delivered = original
+    return rc, sorted(out.glob("REPLAY_*.json"))
+
+
+def test_mutation_is_caught(dedup_campaign):
+    rc, artifacts = dedup_campaign
+    assert rc == 1
+    assert artifacts, "no failing scenario found the dedup mutation"
+
+
+def test_every_failure_includes_exactly_once(dedup_campaign):
+    """Re-delivery cascades (order, acks, byte counts), but the headline
+    invariant must be present in every reproducer."""
+    _, artifacts = dedup_campaign
+    for path in artifacts:
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["violations"], path.name
+        assert "delivery.exactly_once" in {
+            v["invariant"] for v in doc["violations"]
+        }, path.name
+
+
+def test_failures_were_shrunk_to_minimal_reproducers(dedup_campaign):
+    _, artifacts = dedup_campaign
+    for path in artifacts:
+        doc = json.loads(path.read_text())
+        # a single message under a duplication fault is enough to
+        # re-deliver a retransmitted frame
+        assert len(doc["scenario"]["messages"]) <= 2, path.name
+
+
+def test_replay_reproduces_bit_identically_under_the_mutation(dedup_campaign, capsys):
+    _, artifacts = dedup_campaign
+    original = _break_dedup()
+    try:
+        rc = main(["replay", str(artifacts[0])])
+    finally:
+        OrderedReceiver._already_delivered = original
+    assert rc == 0
+    assert "bit-identically" in capsys.readouterr().out
+
+
+def test_replay_detects_the_fix_on_a_clean_build(dedup_campaign, capsys):
+    """Same artifact, mutation reverted: the violation must be gone and
+    replay must say so (exit 1, mismatch) — the fix-verification flow."""
+    _, artifacts = dedup_campaign
+    rc = main(["replay", str(artifacts[0])])
+    assert rc == 1
+    assert "MISMATCH" in capsys.readouterr().out
