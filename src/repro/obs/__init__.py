@@ -17,6 +17,16 @@ reports its numbers through the instruments here:
   :class:`TimeSeriesSampler`) behind a :class:`MetricsRegistry`;
 * :mod:`repro.obs.profile` — event-loop profiling hooks for
   :class:`repro.sim.Environment` (events per process, queue high-water);
+* :mod:`repro.obs.slo` — declarative service-level objectives: JSON-able
+  :class:`SLOSpec` documents (percentile ceilings, goodput floors,
+  loss/pause budgets, windowed burn-rates) evaluated into structured
+  scorecards that bench gates and CI fail on;
+* :mod:`repro.obs.health` — the in-sim :class:`HealthWatchdog`: stall
+  and storm detection riding the sampler cadence, emitting structured
+  :class:`HealthEvent` records in simulated time;
+* :mod:`repro.obs.report` — any :class:`RunArtifact` rendered as a
+  single self-contained HTML dashboard (stat tiles, SLO scorecard,
+  health log, time-series charts, journey waterfall);
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto /
   ``chrome://tracing``; spans as slices, journeys as flow events, time
   series as counters) and the per-run :class:`RunArtifact` JSON.
@@ -50,6 +60,7 @@ from .export import (
     RUN_SCHEMA,
     RUN_SCHEMA_V1,
     RUN_SCHEMA_V2,
+    RUN_SCHEMA_V3,
     RunArtifact,
     chrome_trace_events,
     chrome_trace_json,
@@ -58,6 +69,7 @@ from .export import (
     spans_of,
     timeseries_of,
 )
+from .health import HEALTH_SCHEMA, SEVERITIES, HealthEvent, HealthWatchdog
 from .journey import HOP_CHAIN, Journey, JourneyProbe, JourneyRecorder, packet_key
 from .metrics import (
     Counter,
@@ -68,6 +80,17 @@ from .metrics import (
     TimeSeriesSampler,
 )
 from .profile import EnvProfiler, aggregate_profiles
+from .report import render_html, write_html
+from .slo import (
+    OBJECTIVE_KINDS,
+    SCORECARD_SCHEMA,
+    SLO_SCHEMA,
+    Objective,
+    SLOSpec,
+    evaluate,
+    resolve_metric,
+    scorecard_table,
+)
 from .span import NULL_SPAN, Instant, Span, Tracer
 
 __all__ = [
@@ -76,7 +99,10 @@ __all__ = [
     "Delta",
     "EnvProfiler",
     "Gauge",
+    "HEALTH_SCHEMA",
     "HOP_CHAIN",
+    "HealthEvent",
+    "HealthWatchdog",
     "Histogram",
     "Instant",
     "Journey",
@@ -85,12 +111,19 @@ __all__ = [
     "LAYERS",
     "MetricsRegistry",
     "NULL_SPAN",
+    "OBJECTIVE_KINDS",
+    "Objective",
     "PathSegment",
     "RUN_SCHEMA",
     "RUN_SCHEMA_V1",
     "RUN_SCHEMA_V2",
+    "RUN_SCHEMA_V3",
     "RunArtifact",
     "RunDiff",
+    "SCORECARD_SCHEMA",
+    "SEVERITIES",
+    "SLOSpec",
+    "SLO_SCHEMA",
     "ScopeStat",
     "Span",
     "SpanNode",
@@ -102,6 +135,7 @@ __all__ = [
     "chrome_trace_events",
     "chrome_trace_json",
     "critical_path",
+    "evaluate",
     "explain_outliers",
     "fig7_stage_durations",
     "flatten_numeric",
@@ -112,10 +146,14 @@ __all__ = [
     "outlier_report",
     "packet_key",
     "records_of",
+    "render_html",
+    "resolve_metric",
     "scope_stats",
+    "scorecard_table",
     "span_tree",
     "spans_of",
     "summary_table",
     "timeseries_of",
     "waterfall_table",
+    "write_html",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "RUN_SCHEMA",
     "RUN_SCHEMA_V1",
     "RUN_SCHEMA_V2",
+    "RUN_SCHEMA_V3",
     "RunArtifact",
     "chrome_trace_events",
     "chrome_trace_json",
@@ -40,11 +41,14 @@ __all__ = [
     "timeseries_of",
 ]
 
-#: current artifact schema: v3 adds message journeys (``journeys``) and
-#: sampled time series (``timeseries``); v2 added the aggregated
-#: EnvProfiler snapshot (``profile``).  Loading accepts v1/v2 documents
-#: and upgrades them in place (the new fields just stay empty).
-RUN_SCHEMA = "repro.run/3"
+#: current artifact schema: v4 adds the SLO scorecard (``slo``) and
+#: structured health events (``health``); v3 added message journeys
+#: (``journeys``) and sampled time series (``timeseries``); v2 added the
+#: aggregated EnvProfiler snapshot (``profile``).  Loading accepts
+#: v1/v2/v3 documents and upgrades them in place (the new fields just
+#: stay empty).
+RUN_SCHEMA = "repro.run/4"
+RUN_SCHEMA_V3 = "repro.run/3"
 RUN_SCHEMA_V2 = "repro.run/2"
 RUN_SCHEMA_V1 = "repro.run/1"
 BATCH_SCHEMA = "repro.run-batch/1"
@@ -262,6 +266,12 @@ class RunArtifact:
     records: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
     journeys: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
     timeseries: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: SLO scorecard (see :func:`repro.obs.slo.evaluate`) — empty when
+    #: the run declared no SLO spec
+    slo: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: structured health events (see :mod:`repro.obs.health`), simulated
+    #: time order
+    health: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
     schema: str = RUN_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
@@ -291,14 +301,15 @@ class RunArtifact:
         if not isinstance(data, dict):
             raise ValueError(f"artifact must be a JSON object, got {type(data).__name__}")
         schema = data.get("schema")
-        if schema not in (RUN_SCHEMA, RUN_SCHEMA_V2, RUN_SCHEMA_V1):
+        if schema not in (RUN_SCHEMA, RUN_SCHEMA_V3, RUN_SCHEMA_V2, RUN_SCHEMA_V1):
             raise ValueError(f"unknown artifact schema {schema!r} (want {RUN_SCHEMA!r})")
         if not data.get("experiment"):
             raise ValueError("artifact missing 'experiment'")
         fields = {f.name for f in dataclasses.fields(cls)}
         loaded = cls(**{k: v for k, v in data.items() if k in fields})
-        # v1/v2 documents upgrade in place: same fields, the newer
-        # ones (profile / journeys / timeseries) just stay empty.
+        # v1/v2/v3 documents upgrade in place: same fields, the newer
+        # ones (profile / journeys / timeseries / slo / health) just
+        # stay empty.
         loaded.schema = RUN_SCHEMA
         return loaded
 

@@ -59,6 +59,23 @@ class Counter:
         """Snapshot form: counters export as their bare value."""
         return self.value
 
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold another counter's tally into this one (sum)."""
+        if isinstance(other, dict):
+            other = Counter.from_dict(other)
+        self.value += other.value
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full-fidelity digest form (see :meth:`MetricsRegistry.digest`)."""
+        return {"kind": self.kind, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], name: str = "") -> "Counter":
+        c = cls(name)
+        c.value = float(data["value"])
+        return c
+
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value!r})"
 
@@ -102,6 +119,38 @@ class Gauge:
             "low_water": self.low_water if self.samples else 0.0,
             "samples": self.samples,
         }
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """Fold another gauge in: extremes combine, sample counts add,
+        and the merged level is the *other* side's (fold order is the
+        shard order, so the last-folded shard's level wins — a level has
+        no meaningful cross-shard sum)."""
+        if isinstance(other, dict):
+            other = Gauge.from_dict(other)
+        if other.samples:
+            self.value = other.value
+            self.samples += other.samples
+            if other.high_water > self.high_water:
+                self.high_water = other.high_water
+            if other.low_water < self.low_water:
+                self.low_water = other.low_water
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full-fidelity digest form (see :meth:`MetricsRegistry.digest`)."""
+        d = self.as_dict()
+        d["kind"] = self.kind
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], name: str = "") -> "Gauge":
+        g = cls(name)
+        g.samples = int(data["samples"])
+        g.value = float(data["value"])
+        if g.samples:
+            g.high_water = float(data["high_water"])
+            g.low_water = float(data["low_water"])
+        return g
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, {self.value!r}, high={self.high_water!r})"
@@ -153,6 +202,65 @@ class Histogram:
 
     #: alias kept for IntervalStats-style call sites
     observe = record
+
+    # -- merging ---------------------------------------------------------
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram (or its :meth:`to_dict` form) into this
+        one — **losslessly**.
+
+        Log buckets are exact under merge: the merged bucket counts (and
+        underflow, count, total, min, max) are identical to recording the
+        concatenated sample streams into a single histogram, so every
+        percentile of the merged digest equals the single-pass answer.
+        Both sides must share the same ``growth`` (bucket boundaries are
+        a function of it); merging mismatched digests raises.
+        """
+        if isinstance(other, dict):
+            other = Histogram.from_dict(other)
+        if other.growth != self.growth:
+            raise ValueError(
+                f"cannot merge histograms with different growth "
+                f"({self.growth!r} vs {other.growth!r})")
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+        self._underflow += other._underflow
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full-fidelity digest: everything needed to rebuild the
+        histogram exactly (JSON-able — bucket indexes become string
+        keys, sorted for deterministic serialization)."""
+        return {
+            "kind": self.kind,
+            "growth": self.growth,
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "underflow": self._underflow,
+            "buckets": {str(idx): self._buckets[idx]
+                        for idx in sorted(self._buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], name: str = "") -> "Histogram":
+        """Rebuild a histogram from its :meth:`to_dict` digest form."""
+        hist = cls(name, growth=data.get("growth", 1.05))
+        hist.count = int(data["count"])
+        hist.total = float(data.get("total", 0.0))
+        if hist.count:
+            hist.minimum = float(data["min"])
+            hist.maximum = float(data["max"])
+        hist._underflow = int(data.get("underflow", 0))
+        hist._buckets = {int(idx): int(n)
+                         for idx, n in data.get("buckets", {}).items()}
+        return hist
 
     # -- queries ---------------------------------------------------------
     @property
@@ -206,12 +314,19 @@ class Histogram:
         return self.percentile(99.9)
 
     def as_dict(self) -> Dict[str, float]:
-        """Snapshot form: exact moments plus streaming percentiles."""
+        """Snapshot form: exact moments plus streaming percentiles.
+
+        ``total`` and ``underflow`` ride along so artifact consumers can
+        compute means across *merged* snapshots (sum of totals over sum
+        of counts) without re-deriving them from ``count * mean``.
+        """
         return {
             "count": self.count,
             "mean": self.mean,
+            "total": self.total,
             "min": self.minimum if self.count else 0.0,
             "max": self.maximum if self.count else 0.0,
+            "underflow": self._underflow,
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
@@ -255,6 +370,31 @@ class TimeSeries:
             "points": [[t, v] for t, v in self.points],
         }
 
+    def merge(self, other: "TimeSeries") -> "TimeSeries":
+        """Append another series' points (shard fold order; points stay
+        timestamped, so consumers can re-sort across shards if needed)."""
+        if isinstance(other, dict):
+            other = TimeSeries.from_dict(other)
+        if other.unit and self.unit and other.unit != self.unit:
+            raise ValueError(
+                f"cannot merge series with units {self.unit!r} vs {other.unit!r}")
+        if other.unit and not self.unit:
+            self.unit = other.unit
+        self.points.extend(other.points)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full-fidelity digest form (see :meth:`MetricsRegistry.digest`)."""
+        d = self.as_dict()
+        d["kind"] = self.kind
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], name: str = "") -> "TimeSeries":
+        ts = cls(name, unit=data.get("unit", ""))
+        ts.points = [(float(t), float(v)) for t, v in data.get("points", ())]
+        return ts
+
     def __repr__(self) -> str:
         return f"TimeSeries({self.name!r}, n={len(self.points)})"
 
@@ -283,14 +423,28 @@ class TimeSeriesSampler:
         self.interval_ns = interval_ns
         self.max_samples = max_samples
         self._probes: List[Tuple[TimeSeries, Callable[[], float]]] = []
+        self._observers: List[Callable[[], None]] = []
         self._ticks = 0
         self._stopped = False
         self._started = False
+        self._handle: Any = None
 
     def add(self, series: TimeSeries, probe: Callable[[], float]) -> TimeSeries:
         """Register ``probe`` to feed ``series`` each tick."""
         self._probes.append((series, probe))
         return series
+
+    def on_tick(self, observer: Callable[[], None]) -> None:
+        """Register a callback run after each sampling round.
+
+        Observers fire in registration order, *after* every probe of the
+        round has sampled — so an observer (e.g. the
+        :class:`~repro.obs.health.HealthWatchdog`) sees a consistent
+        snapshot of the tick.  Observers must not mutate simulation
+        state: they ride the sampler's timer, which interleaves with but
+        never perturbs the simulated workload.
+        """
+        self._observers.append(observer)
 
     def start(self) -> None:
         """Take the first sample now and re-arm every ``interval_ns``."""
@@ -301,8 +455,19 @@ class TimeSeriesSampler:
         self._arm()
 
     def stop(self) -> None:
-        """Stop sampling; a pending timer becomes a no-op."""
+        """Stop sampling and cancel the pending timer.
+
+        ``call_later`` returns a cancellable handle on the real event
+        loop (:class:`repro.sim.TimerHandle`); cancelling it removes the
+        live event so a stopped sampler cannot pin an until-queue-empty
+        run alive.  Duck-typed envs without handles fall back to the
+        no-op-on-fire behavior.
+        """
         self._stopped = True
+        handle = self._handle
+        self._handle = None
+        if handle is not None and hasattr(handle, "cancel"):
+            handle.cancel()
 
     @property
     def ticks(self) -> int:
@@ -314,11 +479,14 @@ class TimeSeriesSampler:
         for series, probe in self._probes:
             series.sample(now, float(probe()))
         self._ticks += 1
+        for observer in self._observers:
+            observer()
 
     def _arm(self) -> None:
-        self.env.call_later(self.interval_ns, self._tick)
+        self._handle = self.env.call_later(self.interval_ns, self._tick)
 
     def _tick(self) -> None:
+        self._handle = None
         if self._stopped or self._ticks >= self.max_samples:
             return
         self._sample_all()
@@ -360,9 +528,85 @@ class MetricsRegistry:
         """Get or create the histogram called ``name``."""
         return self._get(name, Histogram, growth)
 
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter/gauge by name, without creating it.
+
+        The read-only twin of the get-or-create accessors, for pure
+        observers (e.g. health-watchdog probes) that must not perturb
+        the registry: a lazily-created counter that never fires must
+        stay absent from the snapshot whether or not it was watched.
+        """
+        inst = self._instruments.get(name)
+        return default if inst is None else float(inst.value)
+
     def timeseries(self, name: str, unit: str = "") -> TimeSeries:
-        """Get or create the time series called ``name``."""
-        return self._get(name, TimeSeries, unit)
+        """Get or create the time series called ``name``.
+
+        Asking for an existing series with a *different* unit raises —
+        the same contract as the kind check: silently handing back the
+        old unit would let two call sites disagree about what the points
+        mean.  An empty ``unit`` on either side is a wildcard (the
+        default-argument lookup idiom); a concrete unit fills in a
+        previously unit-less series.
+        """
+        series = self._get(name, TimeSeries, unit)
+        if unit and series.unit and series.unit != unit:
+            raise ValueError(
+                f"timeseries {name!r} has unit {series.unit!r}, not {unit!r}")
+        if unit and not series.unit:
+            series.unit = unit
+        return series
+
+    # -- merging ---------------------------------------------------------
+    #: digest ``kind`` tag -> instrument class (rebuild side of
+    #: :meth:`digest`/:meth:`merge_from`)
+    _KINDS = {"counter": Counter, "gauge": Gauge,
+              "histogram": Histogram, "timeseries": TimeSeries}
+
+    def digest(self) -> Dict[str, Dict[str, Any]]:
+        """Full-fidelity, JSON-able dump of every instrument, sorted by
+        name: ``{name: instrument.to_dict()}`` with a ``kind`` tag per
+        entry.
+
+        Unlike :meth:`snapshot` (percentile *estimates* for humans and
+        artifacts), a digest preserves the raw bucket counts, so
+        registries can be shipped across process boundaries and folded
+        back together losslessly — the :mod:`repro.parallel` fold-back
+        path.
+        """
+        return {name: inst.to_dict() for name, inst in self.items()}
+
+    def merge_from(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry — or a :meth:`digest` dict — into this one.
+
+        Per-name semantics: counters add, gauges combine extremes (the
+        folded-last level wins), histograms merge **exactly** (bucket
+        counts add — merged percentiles equal a single-registry run over
+        the concatenated samples), and time series concatenate their
+        timestamped points.  A name present on both sides with different
+        kinds raises, mirroring the get-or-create kind check.  Folding
+        shards in submission order is deterministic, so a ``--jobs N``
+        fleet fold is byte-identical to the serial one.
+        """
+        items = other.items() if isinstance(other, MetricsRegistry) \
+            else sorted(other.items())
+        for name, entry in items:
+            if isinstance(entry, dict):
+                cls = self._KINDS.get(entry.get("kind"))
+                if cls is None:
+                    raise ValueError(
+                        f"digest entry {name!r} has unknown kind "
+                        f"{entry.get('kind')!r}")
+                entry = cls.from_dict(entry, name)
+            cls = type(entry)
+            mine = self._instruments.get(name)
+            if mine is None:
+                args = (entry.growth,) if cls is Histogram else ()
+                mine = self._instruments[name] = cls(name, *args)
+            elif type(mine) is not cls:
+                raise TypeError(f"metric {name!r} is a {mine.kind}, not a {cls.kind}")
+            mine.merge(entry)
+        return self
 
     # -- introspection ---------------------------------------------------
     def peek(self, name: str):

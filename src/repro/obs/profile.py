@@ -88,6 +88,18 @@ def aggregate_profiles(profiles: Iterable[Any]) -> Dict[str, Any]:
     merged.  An experiment that builds many clusters (a size sweep)
     thereby reports one simulator-cost summary per run artifact.
     """
+    profiles = list(profiles)
+    if any(hasattr(p, "snapshot") for p in profiles):
+        # Live profilers keep counting until read.  Tearing down a
+        # finished simulation closes suspended generators, whose cleanup
+        # (releasing resource grants) schedules a final event on the dead
+        # environment — and *when* the cycle collector runs that cleanup
+        # depends on allocation history, which differs between serial
+        # and pooled runs.  Collect pending garbage before reading so
+        # the tally deterministically includes all teardown events.
+        import gc
+
+        gc.collect()
     merged: Dict[str, Any] = {
         "environments": 0,
         "events_processed": 0,

@@ -1,0 +1,442 @@
+"""Self-contained HTML dashboard for a :class:`~repro.obs.RunArtifact`.
+
+``python -m repro.trace --html`` turns any run artifact into one HTML
+file a reviewer can open from a CI artifact listing: stat tiles for the
+headline numbers, the SLO scorecard, the health-event log, a small
+multiple of every sampled time series (inline SVG), the slowest
+journey's hop waterfall, and the top-outlier explanations.
+
+Design constraints, in order:
+
+* **Self-contained** — a single file with zero network fetches: no CDN
+  scripts, no webfonts, no external CSS.  Charts are hand-built inline
+  SVG; hover tooltips are native SVG ``<title>`` elements.
+* **Deterministic** — the output is a pure function of the artifact
+  dict (sorted iteration, no wall-clock timestamps), so two renders of
+  the same artifact are byte-identical and diffable in CI.
+* **Readable by construction** — colors follow the repo's chart rules:
+  identity comes from labels, never hue alone; status colors always
+  pair with an icon + word; single-series charts carry their name in
+  the title instead of a legend; light and dark are both first-class
+  via CSS custom properties.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .analyze import explain_outliers, journey_latency_summary, journey_waterfall
+
+__all__ = ["render_html", "write_html"]
+
+#: max polyline vertices per chart — beyond this the series is strided
+#: down so a million-sample artifact still renders to a small file
+_MAX_POINTS = 300
+
+# Palette (validated light/dark pairs; status colors are mode-invariant
+# and always rendered beside an icon + word, never meaning by hue alone).
+_STYLE = """
+:root {
+  color-scheme: light;
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --good: #0ca30c; --warning: #fab219; --serious: #ec835a; --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --page: #0d0d0d; --surface: #1a1a19;
+  --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+  --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 2px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.sub { color: var(--ink-2); margin: 0 0 18px; }
+.cards { display: flex; flex-wrap: wrap; gap: 12px; }
+.card {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 148px;
+}
+.card .label { color: var(--ink-2); font-size: 12px; }
+.card .value { font-size: 24px; font-weight: 600; margin-top: 2px; }
+.card .detail { color: var(--muted); font-size: 12px; margin-top: 2px; }
+table {
+  border-collapse: collapse; background: var(--surface);
+  border: 1px solid var(--border); border-radius: 8px;
+}
+th, td {
+  padding: 6px 12px; text-align: left; font-size: 13px;
+  border-top: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-2); font-weight: 600; border-top: none; }
+td.num, th.num { text-align: right; }
+.status { font-weight: 600; white-space: nowrap; }
+.status.ok       { color: var(--good); }
+.status.violated { color: var(--critical); }
+.status.missing  { color: var(--serious); }
+.status.warning  { color: var(--warning); }
+.status.critical { color: var(--critical); }
+.status.info     { color: var(--ink-2); }
+.charts { display: flex; flex-wrap: wrap; gap: 16px; }
+.chart {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 12px 6px;
+}
+.chart .title { font-size: 12px; color: var(--ink-2); margin-bottom: 4px; }
+.empty { color: var(--muted); font-style: italic; }
+svg text { font: 10px system-ui, -apple-system, "Segoe UI", sans-serif;
+           fill: var(--muted); font-variant-numeric: tabular-nums; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Any, digits: int = 3) -> str:
+    """Compact deterministic number formatting (SI suffix past 10^4)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    v = float(value)
+    if v != v or v in (float("inf"), float("-inf")):
+        return "-"
+    for cut, suffix in ((1e9, "G"), (1e6, "M"), (1e4, "k")):
+        if abs(v) >= cut:
+            scaled = v / (1e9 if suffix == "G" else 1e6 if suffix == "M" else 1e3)
+            return f"{scaled:.{digits}g}{suffix}"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.{digits}g}"
+
+
+def _ticks(lo: float, hi: float, n: int = 4) -> List[float]:
+    """Round tick positions covering [lo, hi] on a 1/2/5 grid."""
+    if hi <= lo:
+        return [lo]
+    span = hi - lo
+    raw = span / max(n, 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mult * mag
+        if span / step <= n + 0.5:
+            break
+    first = math.ceil(lo / step) * step
+    out = []
+    t = first
+    while t <= hi + step * 1e-9:
+        out.append(0.0 if abs(t) < step * 1e-9 else t)
+        t += step
+    return out or [lo]
+
+
+def _stride(points: Sequence, cap: int = _MAX_POINTS) -> List:
+    """Downsample to at most ``cap`` points, always keeping the last."""
+    pts = list(points)
+    if len(pts) <= cap:
+        return pts
+    step = math.ceil(len(pts) / cap)
+    sampled = pts[::step]
+    if sampled[-1] is not pts[-1]:
+        sampled.append(pts[-1])
+    return sampled
+
+
+def _status_cell(status: str, word: Optional[str] = None) -> str:
+    """Status as icon + word + color — never color alone."""
+    icons = {"ok": "✓", "violated": "✗", "missing": "?", "info": "·",
+             "warning": "⚠", "critical": "✗", "good": "✓"}
+    icon = icons.get(status, "·")
+    return (f'<span class="status {_esc(status)}">{icon} '
+            f'{_esc((word or status).upper())}</span>')
+
+
+def _line_chart(name: str, unit: str, points: Sequence,
+                width: int = 520, height: int = 150) -> str:
+    """One series as an inline-SVG line chart (single hue, one axis)."""
+    pts = _stride([(float(t), float(v)) for t, v in points])
+    pad_l, pad_r, pad_t, pad_b = 52, 10, 8, 20
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    title = f"{name} ({unit})" if unit else name
+    if len(pts) < 2:
+        return (f'<div class="chart"><div class="title">{_esc(title)}</div>'
+                f'<div class="empty">not enough samples</div></div>')
+    t0, t1 = pts[0][0], pts[-1][0]
+    vals = [v for _, v in pts]
+    v0, v1 = min(vals + [0.0]), max(vals)
+    if v1 <= v0:
+        v1 = v0 + 1.0
+    sx = plot_w / (t1 - t0) if t1 > t0 else 0.0
+    sy = plot_h / (v1 - v0)
+
+    def X(t: float) -> float:
+        return pad_l + (t - t0) * sx
+
+    def Y(v: float) -> float:
+        return pad_t + plot_h - (v - v0) * sy
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}" role="img" aria-label="{_esc(title)}">']
+    for tick in _ticks(v0, v1):
+        y = Y(tick)
+        parts.append(f'<line x1="{pad_l}" y1="{y:.1f}" x2="{width - pad_r}" '
+                     f'y2="{y:.1f}" stroke="var(--grid)" stroke-width="1"/>')
+        parts.append(f'<text x="{pad_l - 6}" y="{y + 3:.1f}" '
+                     f'text-anchor="end">{_fmt(tick)}</text>')
+    base_y = pad_t + plot_h
+    parts.append(f'<line x1="{pad_l}" y1="{base_y}" x2="{width - pad_r}" '
+                 f'y2="{base_y}" stroke="var(--axis)" stroke-width="1"/>')
+    for tick in _ticks(t0 / 1e3, t1 / 1e3, 5):
+        x = X(tick * 1e3)
+        parts.append(f'<text x="{x:.1f}" y="{height - 6}" '
+                     f'text-anchor="middle">{_fmt(tick)}µs</text>')
+    coords = " ".join(f"{X(t):.1f},{Y(v):.1f}" for t, v in pts)
+    parts.append(f'<polyline points="{coords}" fill="none" '
+                 f'stroke="var(--series-1)" stroke-width="2" '
+                 f'stroke-linejoin="round" stroke-linecap="round"/>')
+    # native hover layer: invisible ≥8px hit targets with <title> tooltips
+    for t, v in pts:
+        parts.append(f'<circle cx="{X(t):.1f}" cy="{Y(v):.1f}" r="8" '
+                     f'fill="transparent"><title>t={_fmt(t / 1e3)}µs  '
+                     f'{_esc(name)}={_fmt(v)}{_esc(" " + unit if unit else "")}'
+                     f'</title></circle>')
+    parts.append("</svg>")
+    return (f'<div class="chart"><div class="title">{_esc(title)}</div>'
+            f'{"".join(parts)}</div>')
+
+
+def _waterfall_chart(journey: Dict[str, Any]) -> str:
+    """The slowest journey's hop waterfall as labeled horizontal bars.
+
+    One hue: identity lives in the row label, magnitude in the bar, so
+    no legend and no hue cycling no matter how many hops the chain has.
+    """
+    segments = journey_waterfall(journey)
+    total = journey["end_ns"] - journey["start_ns"]
+    if not segments or total <= 0:
+        return '<div class="empty">no waterfall segments</div>'
+    width, row_h, label_w, value_w = 560, 22, 150, 70
+    bar_w = width - label_w - value_w
+    peak = max(max(s["dur_ns"] for s in segments), 1.0)
+    height = row_h * len(segments) + 6
+    parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}" role="img" aria-label="journey waterfall">']
+    for i, seg in enumerate(segments):
+        y = i * row_h + 3
+        dur = max(seg["dur_ns"], 0.0)
+        w = dur / peak * bar_w
+        share = seg["dur_ns"] / total * 100.0
+        label = f'{seg["hop"]} · {seg["scope"]}'
+        parts.append(f'<text x="{label_w - 8}" y="{y + row_h / 2 + 3:.1f}" '
+                     f'text-anchor="end" fill="var(--ink-2)">{_esc(label)}</text>')
+        parts.append(f'<rect x="{label_w}" y="{y + 3}" width="{max(w, 1):.1f}" '
+                     f'height="{row_h - 8}" rx="4" fill="var(--series-1)">'
+                     f'<title>{_esc(seg["hop"])}: {_fmt(seg["dur_ns"] / 1e3)}µs '
+                     f'({share:.1f}% of e2e)</title></rect>')
+        parts.append(f'<text x="{label_w + max(w, 1) + 6:.1f}" '
+                     f'y="{y + row_h / 2 + 3:.1f}">'
+                     f'{_fmt(seg["dur_ns"] / 1e3)}µs</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _tiles(artifact: Dict[str, Any]) -> str:
+    """Headline stat tiles: latency tails, delivery, health verdict."""
+    result = artifact.get("result", {})
+    latency = result.get("latency") or {}
+    if not latency and artifact.get("journeys"):
+        latency = journey_latency_summary(artifact["journeys"])
+    tiles: List[Tuple[str, str, str]] = []
+    for key, label in (("p50_us", "p50 latency"), ("p99_us", "p99 latency"),
+                       ("p999_us", "p99.9 latency")):
+        if key in latency:
+            tiles.append((label, f"{_fmt(latency[key])}µs", ""))
+    if "delivered" in latency:
+        tiles.append(("delivered",
+                      f'{_fmt(latency["delivered"])}/{_fmt(latency.get("messages"))}',
+                      f'{_fmt(latency.get("retransmitted", 0))} retransmitted'))
+    for key in ("goodput_mbps", "throughput_mbps"):
+        if key in result:
+            tiles.append((key.replace("_mbps", ""),
+                          f"{_fmt(result[key])} Mb/s", ""))
+    slo = artifact.get("slo") or {}
+    if slo:
+        n = len(slo.get("objectives", ()))
+        bad = len(slo.get("violations", ()))
+        tiles.append(("SLO", _status_cell("ok" if slo.get("ok") else "violated",
+                                          "pass" if slo.get("ok") else "fail"),
+                      f"{n - bad}/{n} objectives met"))
+    health = artifact.get("health") or []
+    worst = "info"
+    order = ("info", "warning", "critical")
+    for event in health:
+        sev = event.get("severity", "info")
+        if sev in order and order.index(sev) > order.index(worst):
+            worst = sev
+    tiles.append(("health",
+                  _status_cell("good" if worst == "info" else worst,
+                               "healthy" if worst == "info" else worst),
+                  f"{len(health)} events"))
+    cards = "".join(
+        f'<div class="card"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{value}</div>'
+        f'<div class="detail">{_esc(detail)}</div></div>'
+        for label, value, detail in tiles)
+    return f'<div class="cards">{cards}</div>'
+
+
+def _slo_section(card: Dict[str, Any]) -> str:
+    if not card:
+        return '<div class="empty">no SLO spec declared for this run</div>'
+    rows = []
+    for r in card.get("objectives", ()):
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(r['name'])}</td>"
+            f"<td>{_esc(r['metric'])}</td>"
+            f"<td>{_esc(r['kind'])}</td>"
+            f"<td class='num'>{_fmt(r['threshold'])}</td>"
+            f"<td class='num'>{_fmt(r['value'])}</td>"
+            f"<td class='num'>{_fmt(r['margin'])}</td>"
+            f"<td>{_status_cell(r['status'])}</td>"
+            "</tr>")
+    verdict = _status_cell("ok" if card.get("ok") else "violated",
+                           "pass" if card.get("ok") else "fail")
+    return (f'<p class="sub">{_esc(card.get("slo", ""))}: {verdict}</p>'
+            "<table><tr><th>objective</th><th>metric</th><th>kind</th>"
+            "<th class='num'>threshold</th><th class='num'>value</th>"
+            "<th class='num'>margin</th><th>status</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def _health_section(events: List[Dict[str, Any]]) -> str:
+    if not events:
+        return ('<div class="empty">'
+                + _status_cell("good", "healthy")
+                + ' no stalls or storms detected</div>')
+    rows = []
+    for e in events:
+        rows.append(
+            "<tr>"
+            f"<td class='num'>{_fmt(e.get('t_ns', 0) / 1e3)}µs</td>"
+            f"<td>{_esc(e.get('rule', ''))}</td>"
+            f"<td>{_esc(e.get('kind', ''))}</td>"
+            f"<td>{_status_cell(e.get('severity', 'info'))}</td>"
+            f"<td>{_esc(e.get('message', ''))}</td>"
+            "</tr>")
+    return ("<table><tr><th class='num'>t</th><th>rule</th><th>kind</th>"
+            "<th>severity</th><th>message</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def _timeseries_section(timeseries: Dict[str, Any]) -> str:
+    if not timeseries:
+        return '<div class="empty">no sampled time series in this artifact</div>'
+    charts, rows = [], []
+    for name in sorted(timeseries):
+        series = timeseries[name]
+        points = series.get("points", ())
+        charts.append(_line_chart(name, series.get("unit", ""), points))
+        vals = [float(v) for _, v in points]
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(name)}</td><td>{_esc(series.get('unit', ''))}</td>"
+            f"<td class='num'>{len(vals)}</td>"
+            f"<td class='num'>{_fmt(min(vals) if vals else None)}</td>"
+            f"<td class='num'>{_fmt(max(vals) if vals else None)}</td>"
+            f"<td class='num'>{_fmt(vals[-1] if vals else None)}</td>"
+            "</tr>")
+    # table view of every chart — the non-visual reading of the same data
+    table = ("<table><tr><th>series</th><th>unit</th><th class='num'>samples"
+             "</th><th class='num'>min</th><th class='num'>max</th>"
+             "<th class='num'>last</th></tr>" + "".join(rows) + "</table>")
+    return f'<div class="charts">{"".join(charts)}</div><h2>Series table</h2>{table}'
+
+
+def _journey_section(journeys: List[Dict[str, Any]]) -> str:
+    delivered = [j for j in journeys if j.get("delivered")]
+    if not delivered:
+        return '<div class="empty">no delivered journeys in this artifact</div>'
+    slowest = max(delivered, key=lambda j: (j["end_ns"] - j["start_ns"], j["id"]))
+    lat_us = (slowest["end_ns"] - slowest["start_ns"]) / 1e3
+    out = [f'<p class="sub">slowest journey #{slowest["id"]} '
+           f'({_esc(slowest["key"])}, {_fmt(slowest["nbytes"])} B, '
+           f'{_fmt(lat_us)}µs end-to-end, '
+           f'{len(slowest.get("retransmits", ()))} retransmits)</p>',
+           _waterfall_chart(slowest),
+           "<h2>Top outliers</h2>"]
+    rows = []
+    for o in explain_outliers(journeys, top=5):
+        rows.append(
+            "<tr>"
+            f"<td class='num'>{o['id']}</td><td>{_esc(o['key'])}</td>"
+            f"<td class='num'>{_fmt(o['latency_us'])}µs</td>"
+            f"<td>{_esc(o['band'])}</td>"
+            f"<td>{_esc(o['dominant_hop'] or '-')}</td>"
+            f"<td class='num'>{_fmt(o['dominant_us'])}µs "
+            f"({o['dominant_share'] * 100:.0f}%)</td>"
+            f"<td class='num'>{o['retransmits']}</td>"
+            f"<td>{_esc(','.join(o['retransmit_kinds']) or '-')}</td>"
+            "</tr>")
+    out.append("<table><tr><th class='num'>id</th><th>key</th>"
+               "<th class='num'>latency</th><th>band</th><th>dominant hop</th>"
+               "<th class='num'>dominant</th><th class='num'>rtx</th>"
+               "<th>kinds</th></tr>" + "".join(rows) + "</table>")
+    return "".join(out)
+
+
+def render_html(artifact: Dict[str, Any], title: Optional[str] = None) -> str:
+    """Render an artifact dict (``RunArtifact.to_dict`` form) to HTML."""
+    name = title or artifact.get("experiment", "run")
+    meta_bits = [f"schema {artifact.get('schema', '?')}"]
+    if artifact.get("quick"):
+        meta_bits.append("quick run")
+    result = artifact.get("result", {})
+    for key in ("seed", "nbytes", "messages", "loss", "loss_model"):
+        if key in result:
+            meta_bits.append(f"{key}={_fmt(result[key]) if isinstance(result[key], (int, float)) else result[key]}")
+    sections = [
+        f"<h1>{_esc(name)}</h1>",
+        f'<p class="sub">{_esc(" · ".join(str(b) for b in meta_bits))}</p>',
+        _tiles(artifact),
+        "<h2>SLO scorecard</h2>", _slo_section(artifact.get("slo") or {}),
+        "<h2>Health events</h2>", _health_section(artifact.get("health") or []),
+        "<h2>Time series</h2>",
+        _timeseries_section(artifact.get("timeseries") or {}),
+        "<h2>Journey waterfall</h2>",
+        _journey_section(artifact.get("journeys") or []),
+    ]
+    return ("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+            "<meta charset=\"utf-8\">\n"
+            "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n"
+            f"<title>{_esc(name)} — run dashboard</title>\n"
+            f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+            + "\n".join(sections)
+            + "\n</body>\n</html>\n")
+
+
+def write_html(artifact: Dict[str, Any], path: str,
+               title: Optional[str] = None) -> None:
+    """Write the dashboard for ``artifact`` to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_html(artifact, title=title))

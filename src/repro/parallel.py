@@ -59,6 +59,22 @@ def add_jobs_argument(parser: Any) -> None:
     )
 
 
+def _collect_task_garbage() -> None:
+    """Collect cyclic garbage at a task boundary (profiling only).
+
+    Tearing down a finished simulation closes its suspended generators,
+    and their cleanup (releasing resource grants) can schedule a final
+    event on the dead environment.  Whether that lands before or after
+    the profiler snapshot depends on when the cycle collector happens to
+    run — different between serial and pooled layouts.  Collecting at
+    the task boundary pins the cleanup inside the task's own tally, so
+    aggregated ``events_scheduled`` is identical at any ``--jobs``.
+    """
+    import gc
+
+    gc.collect()
+
+
 def _call(payload: Tuple[Callable[[Any], Any], Any, bool]) -> Tuple[Any, List[dict]]:
     """Worker-side shim: run one spec, optionally under a profiler sink.
 
@@ -71,6 +87,7 @@ def _call(payload: Tuple[Callable[[Any], Any], Any, bool]) -> Tuple[Any, List[di
         return worker(spec), []
     with profiled() as profilers:
         result = worker(spec)
+        _collect_task_garbage()
     return result, [p.snapshot() for p in profilers]
 
 
@@ -107,9 +124,20 @@ def run_tasks(
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(specs) <= 1:
-        return [worker(spec) for spec in specs]
     sink = _sim_core._PROFILE_SINK
+    if jobs <= 1 or len(specs) <= 1:
+        results = []
+        for spec in specs:
+            start = 0 if sink is None else len(sink)
+            results.append(worker(spec))
+            if sink is not None:
+                # Same task-boundary discipline as the pool path: collect
+                # teardown garbage, then freeze this task's profilers to
+                # snapshot dicts so later cleanup cannot skew the tally.
+                _collect_task_garbage()
+                sink[start:] = [p.snapshot() if hasattr(p, "snapshot") else p
+                                for p in sink[start:]]
+        return results
     pairs = _pool_map(worker, specs, jobs, profile=sink is not None)
     results = []
     for result, snapshots in pairs:

@@ -10,7 +10,11 @@
   and exits 1 when anything moved beyond tolerance;
 * ``check [CANDIDATE]`` gates a bench document against the committed
   baseline and exits 1 on regression (``--warn-only`` downgrades
-  failures to warnings for first-landing workflows).
+  failures to warnings for first-landing workflows);
+* ``slo [CANDIDATE]`` evaluates the baseline's gates as declared SLO
+  specs (see :func:`repro.perf.check.slo_from_bench`), prints the
+  per-scenario scorecards, optionally writes them as JSON, and exits 1
+  on any violated objective — the CI-facing form of ``check``.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from typing import Optional
 
 from ..parallel import add_jobs_argument, resolve_jobs
 from .bench import BASELINE_PATH, SCENARIOS, run_bench, write_bench
-from .check import check_bench, load_bench, report
+from .check import check_bench, load_bench, report, scenario_scorecards
 from .micro import run_micro
 
 
@@ -88,6 +92,45 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from ..obs.slo import scorecard_table
+
+    baseline = load_bench(args.baseline)
+    if args.candidate:
+        candidate = load_bench(args.candidate)
+    else:
+        print("no candidate given; running a quick bench in-process...",
+              file=sys.stderr)
+        candidate = run_bench(quick=True)
+    cards = scenario_scorecards(candidate, baseline)
+    for scenario in sorted(cards):
+        print(scorecard_table(cards[scenario]))
+        print()
+    if args.output:
+        doc = {
+            "schema": "repro.slo-scorecards/1",
+            "baseline": baseline.get("rev"),
+            "candidate": candidate.get("rev"),
+            "ok": all(card["ok"] for card in cards.values()),
+            "scenarios": {name: cards[name] for name in sorted(cards)},
+        }
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    violated = sorted(
+        f"{scenario}:{name}"
+        for scenario, card in cards.items()
+        for name in card["violations"])
+    if violated:
+        verb = "warning" if args.warn_only else "FAIL"
+        print(f"{verb}: {len(violated)} SLO objective(s) violated: "
+              + ", ".join(violated), file=sys.stderr)
+        return 0 if args.warn_only else 1
+    print("all perf SLOs met", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """Parse arguments and dispatch to bench/diff/check."""
     parser = argparse.ArgumentParser(
@@ -144,6 +187,18 @@ def main(argv: Optional[list] = None) -> int:
     check.add_argument("--warn-only", action="store_true",
                        help="report regressions but exit 0 (first landing)")
     check.set_defaults(func=_cmd_check)
+
+    slo = sub.add_parser("slo", help="evaluate the baseline's gates as SLO "
+                                     "scorecards (CI-facing check)")
+    slo.add_argument("candidate", nargs="?", default=None,
+                     help="bench JSON to score (default: run a quick bench)")
+    slo.add_argument("--baseline", default=BASELINE_PATH,
+                     help=f"baseline bench JSON (default {BASELINE_PATH})")
+    slo.add_argument("-o", "--output", metavar="PATH", default=None,
+                     help="also write the scorecards as JSON to PATH")
+    slo.add_argument("--warn-only", action="store_true",
+                     help="report violations but exit 0 (first landing)")
+    slo.set_defaults(func=_cmd_slo)
 
     args = parser.parse_args(argv)
     if args.command == "bench" and args.full and args.quick:

@@ -1,12 +1,20 @@
 """Baseline comparison behind ``python -m repro.perf check``.
 
-Loads a candidate bench document (or runs a quick bench in-process),
-compares every gated metric against the committed baseline, and reports
-regressions: a ``lower``-is-better gate regresses when the candidate
-exceeds ``baseline * (1 + tol)``, a ``higher``-is-better gate when it
-falls below ``baseline * (1 - tol)``.  Improvements and in-tolerance
-drift pass; gates missing from either side are reported but do not
-fail the check (the suite is allowed to grow).
+The committed baseline's gates are *declared data*: each gate
+``{value, better, tol}`` is translated into one
+:class:`~repro.obs.slo.Objective` — a ``ceiling`` of
+``value * (1 + tol)`` when lower is better, a ``floor`` of
+``value * (1 - tol)`` when higher is better — giving one
+:class:`~repro.obs.slo.SLOSpec` per scenario (:func:`slo_from_bench`).
+``check`` evaluates those specs against the candidate document; a
+violated objective is a regression.  On top of the pass/fail verdict the
+:class:`GateResult` layer keeps the reporting distinctions: in-tolerance
+drift is ``ok``, movement past tolerance in the *good* direction is
+``improved``, and gates present on only one side are ``baseline-only`` /
+``new`` (reported, never failing — the suite is allowed to grow).
+
+``python -m repro.perf slo`` exposes the same evaluation as scorecard
+JSON for CI.
 """
 
 from __future__ import annotations
@@ -15,9 +23,11 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+from ..obs.slo import Objective, SLOSpec, evaluate
 from .bench import BENCH_SCHEMA
 
-__all__ = ["GateResult", "check_bench", "load_bench", "report"]
+__all__ = ["GateResult", "check_bench", "load_bench", "report",
+           "scenario_scorecards", "slo_from_bench"]
 
 
 def load_bench(path: str) -> Dict[str, Any]:
@@ -51,7 +61,67 @@ class GateResult:
         return (self.candidate - self.baseline) / abs(self.baseline)
 
 
+def _gate_spec(base_gates: Dict[str, Any], cand_gates: Dict[str, Any],
+               metric: str) -> Dict[str, Any]:
+    """Tolerance/direction come from the candidate when it defines the
+    gate (the current code owns its contract), else from the baseline."""
+    return cand_gates.get(metric) or base_gates[metric]
+
+
+def slo_from_bench(baseline: Dict[str, Any],
+                   candidate: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, SLOSpec]:
+    """One SLO spec per baseline scenario, gates expressed as objectives.
+
+    A ``lower``-is-better gate becomes a ceiling at
+    ``value * (1 + tol)``; a ``higher``-is-better gate a floor at
+    ``value * (1 - tol)`` — the exact regression boundary
+    ``python -m repro.perf check`` enforces, now as declared data any
+    SLO consumer (dashboard, CI scorecard) can evaluate.
+    """
+    specs: Dict[str, SLOSpec] = {}
+    for scenario in sorted(baseline.get("scenarios", {})):
+        base_gates = (baseline["scenarios"][scenario] or {}).get("gates", {})
+        cand_gates = ((candidate or {}).get("scenarios", {})
+                      .get(scenario) or {}).get("gates", {})
+        objectives = []
+        for metric in sorted(base_gates):
+            gate = _gate_spec(base_gates, cand_gates, metric)
+            better, tol = gate["better"], gate["tol"]
+            base = base_gates[metric]["value"]
+            if better == "lower":
+                kind, threshold = "ceiling", base * (1 + tol)
+            else:
+                kind, threshold = "floor", base * (1 - tol)
+            objectives.append(Objective(
+                name=metric,
+                metric=f"scenarios.{scenario}.gates.{metric}.value",
+                kind=kind, threshold=threshold,
+                description=f"baseline {base:g}, {better} is better, "
+                            f"tol {tol:.0%}"))
+        specs[scenario] = SLOSpec(
+            name=f"bench.{scenario}",
+            description=f"perf gates of scenario {scenario!r} vs baseline "
+                        f"{baseline.get('rev', '?')}",
+            objectives=tuple(objectives))
+    return specs
+
+
+def scenario_scorecards(candidate: Dict[str, Any],
+                        baseline: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Evaluate every baseline scenario's SLO spec against the candidate."""
+    return {scenario: evaluate(spec, candidate)
+            for scenario, spec in slo_from_bench(baseline, candidate).items()}
+
+
 def _classify(baseline: float, candidate: float, better: str, tol: float) -> str:
+    """Scalar ok/improved/regressed verdict for one gate.
+
+    The regression boundary here is by construction the same one
+    :func:`slo_from_bench` declares (``value * (1 ± tol)``); the SLO
+    evaluation is authoritative in :func:`check_bench`, this classifier
+    adds the ``improved`` distinction on passing gates.
+    """
     if better == "lower":
         if candidate > baseline * (1 + tol):
             return "regressed"
@@ -63,11 +133,15 @@ def _classify(baseline: float, candidate: float, better: str, tol: float) -> str
 
 def check_bench(candidate: Dict[str, Any],
                 baseline: Dict[str, Any]) -> List[GateResult]:
-    """Compare the candidate's gates against the baseline's.
+    """Compare the candidate against the baseline's gates-as-SLOs.
 
-    Tolerance and direction come from the candidate when it defines the
-    gate (the current code owns its contract), else from the baseline.
+    The pass/fail verdict per gate is the SLO objective's: violated
+    means regressed.  Gates on only one side stay informational.
     """
+    cards = scenario_scorecards(candidate, baseline)
+    verdicts = {(scenario, row["name"]): row
+                for scenario, card in cards.items()
+                for row in card["objectives"]}
     results: List[GateResult] = []
     scenarios = sorted(set(baseline.get("scenarios", {}))
                        | set(candidate.get("scenarios", {})))
@@ -75,14 +149,16 @@ def check_bench(candidate: Dict[str, Any],
         base_gates = (baseline.get("scenarios", {}).get(scenario) or {}).get("gates", {})
         cand_gates = (candidate.get("scenarios", {}).get(scenario) or {}).get("gates", {})
         for metric in sorted(set(base_gates) | set(cand_gates)):
-            spec = cand_gates.get(metric) or base_gates[metric]
-            better, tol = spec["better"], spec["tol"]
+            gate = _gate_spec(base_gates, cand_gates, metric)
+            better, tol = gate["better"], gate["tol"]
             base = base_gates.get(metric, {}).get("value")
             cand = cand_gates.get(metric, {}).get("value")
             if base is None:
                 status = "new"
             elif cand is None:
                 status = "baseline-only"
+            elif not verdicts[(scenario, metric)]["ok"]:
+                status = "regressed"
             else:
                 status = _classify(base, cand, better, tol)
             results.append(GateResult(scenario, metric, base, cand, better, tol, status))

@@ -37,17 +37,23 @@ import sys
 from typing import Any, Dict, List, Optional
 
 from .obs import (
+    HealthWatchdog,
+    Objective,
     RunArtifact,
+    SLOSpec,
     chrome_trace_json,
+    evaluate,
     journey_latency_summary,
     outlier_report,
     records_of,
+    render_html,
     spans_of,
     timeseries_of,
     waterfall_table,
 )
 
-__all__ = ["PIPELINE_SCOPE", "capture_fig4_point", "capture_fig7", "main"]
+__all__ = ["PIPELINE_SCOPE", "capture_fig4_point", "capture_fig7",
+           "fig4_point_slo", "main"]
 
 #: scope of the synthetic per-stage spans added on top of component spans
 PIPELINE_SCOPE = "fig7.pipeline"
@@ -102,6 +108,48 @@ def capture_fig7(direct: bool = False) -> RunArtifact:
     )
 
 
+def fig4_point_slo(nbytes: int, messages: int, loss: float) -> SLOSpec:
+    """The declared SLO of a fig4-point capture, scaled to its workload.
+
+    Thresholds derive from the physical envelope (1 Gb/s line rate, one
+    RTO of recovery headroom, a retransmit allowance proportional to the
+    injected loss), so the same spec passes a fault-free run strictly
+    (zero retransmit budget) and an adversarial run generously — a
+    regression has to be structural, not statistical, to trip it.
+    """
+    # per-message wire time at line rate, in µs (1 Gb/s = 8 ns/byte)
+    wire_us = nbytes * 8e-3
+    # budget over retransmitted *messages* (always present in the journey
+    # summary, unlike the lazily-created pkts_retx counter): strictly
+    # zero fault-free, anything-up-to-all under injected loss
+    retx_budget = 0.0 if loss <= 0 else float(messages)
+    return SLOSpec(
+        name="fig4-point",
+        description="bulk-transfer envelope: full delivery, tail latency "
+                    "within the line-rate + one-RTO budget, bounded loss "
+                    "recovery, no receive-buffer burn",
+        objectives=(
+            Objective("delivered", "result.latency.delivered", "floor",
+                      float(messages),
+                      description="every message must arrive"),
+            Objective("p999-latency", "result.latency.p999_us", "ceiling",
+                      messages * wire_us * 4.0 + 5_000.0,
+                      description="worst tail within 4x serialized wire "
+                                  "time plus one RTO"),
+            Objective("goodput", "result.goodput_mbps", "floor",
+                      50.0 if loss > 0 else 200.0),
+            Objective("retransmit-budget", "result.latency.retransmitted",
+                      "budget", retx_budget,
+                      description="messages needing loss recovery "
+                                  "(strictly zero when fault-free)"),
+            Objective("rx-depth-burn", "timeseries.node1.nic0.rx_depth",
+                      "burn_rate", 64_000.0, window_ns=1_000_000.0,
+                      description="receive buffer may not fill faster "
+                                  "than 64 frames/ms sustained"),
+        ),
+    )
+
+
 def capture_fig4_point(
     nbytes: int = 1_000_000,
     messages: int = 4,
@@ -119,6 +167,11 @@ def capture_fig4_point(
     ``sample_ns``.  Span tracing stays *off* — journeys are the
     per-message instrument and keep a 1 MB capture tractable.  The
     returned artifact is bit-reproducible under a fixed seed.
+
+    A :class:`~repro.obs.HealthWatchdog` rides the sampler cadence
+    (delivery-stall + retransmit-storm rules) and the parameterized
+    :func:`fig4_point_slo` is evaluated over the finished run, so the
+    artifact carries structured health events and an SLO scorecard.
     """
     import dataclasses
 
@@ -164,6 +217,16 @@ def capture_fig4_point(
         sampler.add(
             cluster.metrics.timeseries(f"switch.port{port.index}.queue", "frames"),
             lambda port=port: len(port.queue.items))
+    # health rules ride the sampler cadence; probes use the non-creating
+    # registry read so a watched-but-silent counter stays out of the
+    # snapshot (the watchdog must not perturb the metrics)
+    watchdog = HealthWatchdog(cluster.env).attach(sampler)
+    watchdog.watch_progress(
+        "delivery", lambda: cluster.metrics.value("node1.clic.pkts_rx"),
+        stall_ticks=max(2, int(10_000_000.0 / sample_ns)))
+    watchdog.watch_rate(
+        "retransmit-storm", lambda: cluster.metrics.value("node0.clic.pkts_retx"),
+        threshold=32.0, window_ticks=max(2, int(1_000_000.0 / sample_ns)))
     sampler.start()
     try:
         res = stream(cluster, clic_pair(), nbytes, messages=messages)
@@ -172,7 +235,7 @@ def capture_fig4_point(
         probe.uninstall()
     journeys = recorder.as_dicts()
     profiler = cluster.env.profiler
-    return RunArtifact(
+    artifact = RunArtifact(
         experiment="fig4.point",
         result={
             "nbytes": nbytes,
@@ -190,7 +253,11 @@ def capture_fig4_point(
         records=records_of(cluster.trace),
         journeys=journeys,
         timeseries=timeseries_of(cluster.metrics),
+        health=watchdog.to_dicts(),
     )
+    artifact.slo = evaluate(fig4_point_slo(nbytes, messages, loss),
+                            artifact.to_dict())
+    return artifact
 
 
 def _filtered(artifact: RunArtifact, source: Optional[str], event: Optional[str]):
@@ -281,6 +348,12 @@ def main(argv=None) -> int:
              "Chrome JSON (inspect a trace without a viewer)",
     )
     parser.add_argument(
+        "--html", action="store_true",
+        help="emit a self-contained HTML run dashboard (stat tiles, SLO "
+             "scorecard, health events, time-series charts, journey "
+             "waterfall) instead of Chrome JSON",
+    )
+    parser.add_argument(
         "--top", type=int, default=15, metavar="N",
         help="number of rows in the --summary table (default 15)",
     )
@@ -330,6 +403,8 @@ def main(argv=None) -> int:
             out = waterfall_table(matches[0])
         else:
             out = outlier_report(artifact.journeys, top=args.outliers)
+    elif args.html:
+        out = render_html(artifact.to_dict())
     elif args.spans:
         out = _span_listing(spans)
     elif args.summary:

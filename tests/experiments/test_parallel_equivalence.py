@@ -8,6 +8,8 @@ folded back into the parent sink).
 
 import json
 
+import pytest
+
 from repro.experiments.registry import main
 
 
@@ -23,3 +25,23 @@ def test_battery_jobs2_byte_identical(tmp_path, capsys):
     capsys.readouterr()  # drop the printed reports
     assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
     assert [run["experiment"] for run in parallel["runs"]] == ["fig7", "comparison"]
+
+
+@pytest.mark.perf
+def test_resilience_jobs2_fleet_fold_byte_identical(tmp_path, capsys):
+    """The fleet-wide digest fold happens in the parent, in submission
+    order, so a ``--jobs 2`` resilience sweep — cells fanned out over a
+    pool, digests folded back with ``merge_from`` — must be
+    byte-identical to the serial run, global percentiles included."""
+
+    def run(tag, extra):
+        path = tmp_path / f"res-{tag}.json"
+        assert main(["resilience", *extra, "--json", str(path)]) == 0
+        return json.loads(path.read_text())
+
+    serial = run("serial", [])
+    parallel = run("jobs2", ["--jobs", "2"])
+    capsys.readouterr()
+    assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+    fleet = parallel["result"]["fleet"]
+    assert fleet["syscall_ns"]["count"] > 0

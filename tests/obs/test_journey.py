@@ -188,5 +188,5 @@ def test_artifact_roundtrip_preserves_journeys_and_timeseries(tmp_path, lossy_ru
     doc.pop("timeseries")
     doc["schema"] = "repro.run/2"
     old = RunArtifact.from_dict(doc)
-    assert old.schema == "repro.run/3"
+    assert old.schema == "repro.run/4"
     assert old.journeys == [] and old.timeseries == {}

@@ -215,3 +215,61 @@ def test_registry_timeseries_excluded_from_snapshot():
     assert list(reg.snapshot()) == ["a"]
     with pytest.raises(TypeError, match="timeseries"):
         reg.gauge("b.depth")
+
+
+def test_sampler_stop_cancels_pending_timer_on_real_env():
+    from repro.sim import Environment
+
+    env = Environment()
+    sampler = TimeSeriesSampler(env, interval_ns=1000.0)
+    ts = sampler.add(TimeSeries("depth"), lambda: 1.0)
+    sampler.start()
+    env.run(until=3500.0)
+    assert sampler.ticks == 4  # t=0, 1000, 2000, 3000
+    handle = sampler._handle
+    assert handle.active
+    sampler.stop()
+    assert not handle.active
+    assert sampler._handle is None
+    # Draining the queue discards the cancelled entry without firing it:
+    # the clock never advances to the dead timer's t=4000 deadline.
+    env.run()
+    assert env.now == 3500.0
+    assert sampler.ticks == 4
+    assert len(ts.points) == 4
+
+
+def test_sampler_on_tick_observers_see_sampled_round():
+    env = _FakeEnv()
+    sampler = TimeSeriesSampler(env, interval_ns=10.0)
+    ts = sampler.add(TimeSeries("d"), lambda: float(sampler.ticks))
+    seen = []
+    sampler.on_tick(lambda: seen.append(len(ts.points)))
+    sampler.start()
+    env.run_until(25.0)
+    # Each observer call happens after that round's probes sampled.
+    assert seen == [1, 2, 3]
+
+
+def test_registry_timeseries_unit_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.timeseries("q.depth", unit="frames")
+    with pytest.raises(ValueError, match="frames"):
+        reg.timeseries("q.depth", unit="bytes")
+    # Empty unit is a wildcard lookup; a concrete unit fills a blank one.
+    assert reg.timeseries("q.depth").unit == "frames"
+    bare = reg.timeseries("later")
+    assert bare.unit == ""
+    assert reg.timeseries("later", unit="ns") is bare
+    assert bare.unit == "ns"
+
+
+def test_registry_value_and_peek_never_create():
+    reg = MetricsRegistry()
+    assert reg.peek("ghost") is None
+    assert reg.value("ghost") == 0.0
+    assert reg.value("ghost", default=-1.0) == -1.0
+    assert list(reg.snapshot()) == []  # reads left no trace
+    reg.counter("hits").inc(3.0)
+    assert reg.value("hits") == 3.0
+    assert reg.peek("hits").value == 3.0

@@ -1,0 +1,97 @@
+"""HTML dashboard rendering: self-contained, deterministic, complete."""
+
+from repro.obs import render_html, write_html
+
+
+def _artifact(**overrides):
+    art = {
+        "schema": "repro.run/4",
+        "experiment": "fig4.point",
+        "result": {
+            "seed": 7, "nbytes": 16384, "messages": 4,
+            "goodput_mbps": 210.5,
+            "latency": {"p50_us": 100.0, "p99_us": 180.0, "p999_us": 200.0,
+                        "delivered": 4},
+        },
+        "metrics": {"node0.clic.pkts_tx": 12.0},
+        "timeseries": {
+            "node1.nic0.rx_depth": {
+                "unit": "frames",
+                "points": [[float(t) * 1000.0, float(t % 5)]
+                           for t in range(40)],
+            },
+        },
+        "journeys": [{
+            "id": 1, "key": "msg-0", "nbytes": 16384, "delivered": True,
+            "start_ns": 0.0, "end_ns": 150_000.0, "retransmits": [],
+            "events": [{"hop": "send", "t": 0.0, "scope": "node0.app"},
+                       {"hop": "wire", "t": 60_000.0, "scope": "net"},
+                       {"hop": "deliver", "t": 150_000.0,
+                        "scope": "node1.app"}],
+        }],
+        "slo": {
+            "schema": "repro.slo-scorecard/1", "slo": "fig4.point",
+            "description": "", "ok": False,
+            "objectives": [
+                {"name": "delivered", "metric": "result.latency.delivered",
+                 "kind": "floor", "threshold": 4.0, "value": 4.0,
+                 "ok": True, "status": "ok", "margin": 0.0},
+                {"name": "p999", "metric": "result.latency.p999_us",
+                 "kind": "ceiling", "threshold": 150.0, "value": 200.0,
+                 "ok": False, "status": "violated", "margin": -50.0},
+            ],
+            "violations": ["p999"],
+        },
+        "health": [{"t_ns": 5_000.0, "rule": "delivery", "kind": "stall",
+                    "severity": "critical", "message": "delivery: stuck",
+                    "details": {"value": 2.0}}],
+    }
+    art.update(overrides)
+    return art
+
+
+def test_render_is_self_contained_and_has_charts():
+    html = render_html(_artifact())
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html
+    # Self-contained: no network fetches of any kind.
+    for needle in ("http://", "https://", "<script src", "@import"):
+        assert needle not in html
+    # Both color schemes ship in the one file.
+    assert "prefers-color-scheme" in html
+    assert "data-theme" in html
+
+
+def test_render_covers_every_section():
+    html = render_html(_artifact())
+    assert "fig4.point" in html
+    assert "p99.9 latency" in html
+    assert "node1.nic0.rx_depth" in html
+    assert "Series table" in html  # accessibility table view
+    # SLO verdicts carry word + icon, never color alone.
+    assert "violated" in html and "✗" in html
+    # Health events render with severity word.
+    assert "critical" in html and "delivery" in html
+    # Journey waterfall for the slowest delivered journey.
+    assert "slowest journey #1" in html
+
+
+def test_render_is_deterministic():
+    assert render_html(_artifact()) == render_html(_artifact())
+
+
+def test_render_degrades_without_optional_sections():
+    bare = _artifact(slo={}, health=[], journeys=[], timeseries={})
+    html = render_html(bare)
+    assert "no SLO spec declared" in html
+    assert "HEALTHY" in html  # empty health == healthy verdict
+    assert "no sampled time series" in html
+    assert "no delivered journeys" in html
+
+
+def test_write_html(tmp_path):
+    path = tmp_path / "dash.html"
+    write_html(_artifact(), str(path), title="smoke")
+    text = path.read_text()
+    assert "smoke" in text
+    assert text == render_html(_artifact(), title="smoke")

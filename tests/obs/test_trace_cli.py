@@ -176,6 +176,40 @@ def test_cli_unknown_journey_id_errors(fig4p_artifact, capsys):
     assert "no journey with id 999" in capsys.readouterr().err
 
 
+def test_capture_fig4_point_has_slo_and_health(fig4p_artifact):
+    art, _ = fig4p_artifact
+    card = art.slo
+    assert card["schema"] == "repro.slo-scorecard/1"
+    assert card["slo"] == "fig4-point"
+    assert card["ok"], f"fig4-point SLO violated: {card['violations']}"
+    names = {r["name"] for r in card["objectives"]}
+    assert {"delivered", "p999-latency", "goodput",
+            "retransmit-budget", "rx-depth-burn"} <= names
+    # The watchdog rode the sampler; a healthy lossy-but-delivering run
+    # has an event list (possibly empty) and no critical events.
+    assert isinstance(art.health, list)
+    assert not any(e["severity"] == "critical" for e in art.health)
+
+
+def test_cli_html_dashboard_is_self_contained(fig4p_artifact, tmp_path, capsys):
+    _, path = fig4p_artifact
+    out = tmp_path / "dash.html"
+    assert main(["--input", str(path), "--html", "-o", str(out)]) == 0
+    html = out.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html
+    for needle in ("http://", "https://", "<script src"):
+        assert needle not in html
+    assert "fig4.point" in html
+    assert "SLO scorecard" in html
+
+
+def test_cli_html_to_stdout(fig4p_artifact, capsys):
+    _, path = fig4p_artifact
+    assert main(["--input", str(path), "--html"]) == 0
+    assert "<!DOCTYPE html>" in capsys.readouterr().out
+
+
 def test_cli_fig4_point_capture_is_deterministic(tmp_path):
     out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
     assert main(_FIG4P_ARGS + ["-o", str(out_a)]) == 0
