@@ -114,6 +114,9 @@ class Cluster:
         #: (switch -> node) — the invariant harness walks this to check
         #: frame conservation across the wire layer.
         self.channels: List[Tuple[str, Channel]] = []
+        #: hardware-path lookups for flow-mode route registration
+        self._chan_map: dict = {}
+        self._port_map: dict = {}
 
         if faults is not None and loss_rate:
             raise ValueError("give either loss_rate or a FaultPlan, not both")
@@ -152,9 +155,23 @@ class Cluster:
                 nic.attach_tx(to_switch)
                 self.channels.append((f"{node_id}.{ch}.up", to_switch))
                 self.channels.append((f"{node_id}.{ch}.down", from_switch))
+                self._chan_map[(node_id, ch, "up")] = to_switch
+                self._chan_map[(node_id, ch, "down")] = from_switch
+                self._port_map[(node_id, ch)] = port
                 self._install_blackouts(port, node_id, ch)
 
         self._attach_protocols()
+
+        #: hybrid flow/packet engine (None unless ``sim.flow_mode="auto"``)
+        self.flow = None
+        sim = getattr(self.cfg, "sim", None)
+        if (
+            sim is not None
+            and sim.flow_mode == "auto"
+            and rx_mode == "irq-pull"
+            and "clic" in self.protocols
+        ):
+            self._install_flow_mode()
 
     # -- fault-plan wiring -----------------------------------------------------
     def _channel_faults(self, node_id: int, ch: int, direction: str) -> Optional[ChannelFaults]:
@@ -236,6 +253,95 @@ class Cluster:
 
             for node in self.nodes:
                 node.via = ViaNic(node)
+
+    def _install_flow_mode(self) -> None:
+        """Build the hybrid-engine controller and register flow routes.
+
+        Routes exist only between single-NIC endpoints (channel bonding
+        always takes the exact per-packet path) and are wired with a
+        live view of the destination's reorder stash, so the
+        controller's eligibility checks read the same state the exact
+        simulation would.
+        """
+        from ..hw.nic.frames import payload_time_ns
+        from ..protocols.headers import ClicAck
+        from ..sim import FlowModeController, FlowRoute
+
+        sim = self.cfg.sim
+        controller = FlowModeController(
+            min_train=sim.flow_min_train,
+            max_train=sim.flow_max_train,
+            horizon_ns=sim.flow_horizon_ns,
+        )
+        for src in self.nodes:
+            if len(src.nics) != 1:
+                continue
+            for dst in self.nodes:
+                if dst is src or len(dst.nics) != 1:
+                    continue
+                up = self._chan_map[(src.node_id, 0, "up")]
+                down = self._chan_map[(dst.node_id, 0, "down")]
+                route = FlowRoute(
+                    up=up,
+                    down=down,
+                    port=self._port_map[(dst.node_id, 0)],
+                    src_nic=src.nics[0],
+                    dst_nic=dst.nics[0],
+                    rx_budget=dst.drivers[0].params.rx_budget_per_irq,
+                    dst_coalescing=dst.nics[0].params.coalescing_enabled,
+                    forward_ns=self.switch.forward_ns,
+                    switch_counters=self.switch.counters,
+                )
+                route.stash_depth = (
+                    lambda module=dst.clic, peer=src.node_id:
+                    module.reorder_stash_depth(peer)
+                )
+                # Closed-form one-way flight time of a cumulative ack
+                # along this route, composed from the same per-stage
+                # parameters the packet path charges: tx DMA + firmware,
+                # two wire serializations + propagations, store-and-
+                # forward, rx firmware, the coalescing timer a lone
+                # frame waits out, IRQ entry + driver costs, rx DMA, and
+                # the bottom-half + module entry.
+                ack_bytes = src.clic.params.header_bytes + ClicAck.WIRE_BYTES
+                dst_nic = dst.nics[0]
+                dst_drv = dst.drivers[0]
+                route.ack_latency_ns = (
+                    src.nics[0].pci.transfer_time(ack_bytes)
+                    + src.nics[0].params.frame_processing_ns
+                    + payload_time_ns(ack_bytes, up.params)
+                    + up.params.propagation_ns
+                    + self.switch.forward_ns
+                    + payload_time_ns(ack_bytes, down.params)
+                    + down.params.propagation_ns
+                    + dst_nic.params.frame_processing_ns
+                    + (dst_nic.params.coalesce_timeout_ns
+                       if dst_nic.params.coalescing_enabled else 0.0)
+                    + dst.kernel.params.irq_entry_ns
+                    + dst_drv.params.irq_overhead_ns
+                    + dst_drv.params.rx_per_frame_ns
+                    + dst_nic.pci.transfer_time(ack_bytes)
+                    + dst.kernel.params.bottom_half_dispatch_ns
+                    + dst.clic.params.module_rx_ns
+                )
+
+                def _deliver_ack(cum, route=route, peer=src.node_id,
+                                 module=dst.clic, nbytes=ack_bytes):
+                    for channel in (route.up, route.down):
+                        c = channel.counters
+                        c.add("frames_offered")
+                        c.add("bytes_offered", nbytes)
+                        c.add("frames")
+                        c.add("bytes", nbytes)
+                    route.switch_counters.add("forwarded")
+                    route.dst_nic.counters.add("rx_frames")
+                    route.dst_nic.counters.add("rx_bytes", nbytes)
+                    module.receive_ack_express(peer, cum)
+
+                route.deliver_ack = _deliver_ack
+                controller.register_route(src.node_id, dst.node_id, route)
+        self.env.flow = controller
+        self.flow = controller
 
     # -- conveniences ----------------------------------------------------------
     def node(self, node_id: int) -> Node:

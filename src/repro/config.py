@@ -53,6 +53,7 @@ __all__ = [
     "MpiParams",
     "PvmParams",
     "NodeConfig",
+    "SimParams",
     "ClusterConfig",
     "granada2003",
     "MTU_STANDARD",
@@ -364,6 +365,36 @@ class NodeConfig:
 
 
 @dataclass(frozen=True)
+class SimParams:
+    """Simulator-engine knobs (how the run is computed, not what it models).
+
+    ``flow_mode`` selects the hybrid flow/packet engine
+    (:mod:`repro.sim.flowmode`): ``"off"`` simulates every frame
+    discretely at every hop — the exactness reference, bit-identical to
+    historical artifacts — while ``"auto"`` lets steady-state bulk
+    windows advance as analytically batched frame *trains* (per-hop
+    serialization, PCI setups, coalescing cadence and counters computed
+    closed-form over the batch).  Any protocol-relevant boundary —
+    active fault window, switch contention, reorder stash occupancy,
+    journey tracing — forces exact per-packet simulation for the
+    affected flow, with seamless re-entry.
+    """
+
+    #: ``"off"`` (exact, the reference) | ``"auto"`` (hybrid fast path)
+    flow_mode: str = "off"
+    #: smallest batch worth the batching bookkeeping; below this the
+    #: per-packet path is used
+    flow_min_train: int = 4
+    #: largest batch advanced as one analytic step (kept at the driver's
+    #: per-IRQ rx budget so a train is consumed by a single interrupt)
+    flow_max_train: int = 16
+    #: lookahead used to prove a train's transit quiet: no scheduled
+    #: fault/blackout/congestion window may intersect
+    #: ``[now, now + horizon)`` for the fast path to engage
+    flow_horizon_ns: float = 10_000_000.0
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """A cluster: homogeneous nodes behind one switch."""
 
@@ -380,10 +411,16 @@ class ClusterConfig:
     #: or ``"pause"`` (802.3x-style lossless — the forwarding engine
     #: stalls until the egress queue drains; see repro.hw.switch)
     switch_backpressure: str = "drop"
+    #: simulator-engine knobs (flow/packet hybrid fast path)
+    sim: SimParams = field(default_factory=SimParams)
 
     def with_node(self, node: NodeConfig) -> "ClusterConfig":
         """Copy of this cluster config with the node config replaced."""
         return replace(self, node=node)
+
+    def with_flow_mode(self, mode: str) -> "ClusterConfig":
+        """Copy with the hybrid-engine mode replaced ("off" | "auto")."""
+        return replace(self, sim=replace(self.sim, flow_mode=mode))
 
 
 def pci_66mhz_64bit() -> PciParams:

@@ -126,11 +126,13 @@ class ChannelFaults:
         self.spec = spec
         self.rng = rng
         self.counters = counters if counters is not None else Counters()
-        stochastic = (
+        #: any draw-consuming model configured — such a channel is never
+        #: provably quiet, so flow-mode trains may not cross it
+        self.stochastic = bool(
             spec.loss_rate or spec.burst is not None or spec.corrupt_rate
             or spec.jitter is not None or spec.duplicate is not None
         )
-        if stochastic and rng is None:
+        if self.stochastic and rng is None:
             raise ValueError("stochastic fault injection requires an RNG stream")
         self.model = None
         if spec.burst is not None:
@@ -143,6 +145,26 @@ class ChannelFaults:
     def link_down(self, now: float) -> bool:
         """True while a scheduled outage window covers ``now``."""
         return any(w.covers(now) for w in self._outages)
+
+    def quiet_over(self, start: float, end: float) -> bool:
+        """True when this channel is provably undisturbed over ``[start, end)``.
+
+        The flow-mode eligibility check: a stochastic model (loss,
+        burst, corruption, jitter, duplication) can strike any frame, so
+        its mere presence answers False; otherwise the channel is quiet
+        iff no scheduled outage or congestion window intersects the
+        interval.
+        """
+        if self.stochastic:
+            return False
+        for w in self._outages:
+            if w.start_ns < end and start < w.end_ns:
+                return False
+        for c in self._congestion:
+            w = c.window
+            if w.start_ns < end and start < w.end_ns:
+                return False
+        return True
 
     # -- congestion (deterministic: no draws) ------------------------------
     def congested(self, now: float) -> bool:

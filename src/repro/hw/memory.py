@@ -36,15 +36,23 @@ class MemoryBus:
         self.busy = BusyTracker()
         self.counters = Counters()
 
-    def copy_time(self, nbytes: int) -> float:
-        """Time for a CPU memcpy of ``nbytes``."""
+    def copy_time(self, nbytes: int, setups: int = 1) -> float:
+        """Time for ``setups`` back-to-back CPU memcpys totalling ``nbytes``."""
         if nbytes < 0:
             raise ValueError("negative copy size")
-        return self.params.copy_setup_ns + nbytes / self.params.copy_bw_Bps * 1e9
+        if setups < 1:
+            raise ValueError("setups must be >= 1")
+        return self.params.copy_setup_ns * setups + nbytes / self.params.copy_bw_Bps * 1e9
 
-    def cpu_copy(self, cpu, nbytes: int, priority: int, label: str = "memcpy") -> Generator:
-        """Copy ``nbytes`` using the CPU (charges CPU time + bus occupancy)."""
-        duration = self.copy_time(nbytes)
+    def cpu_copy(self, cpu, nbytes: int, priority: int, label: str = "memcpy",
+                 setups: int = 1) -> Generator:
+        """Copy ``nbytes`` using the CPU (charges CPU time + bus occupancy).
+
+        ``setups`` counts the per-copy setup costs charged in one bus
+        hold: 1 normally, ``k`` when a flow-mode train batches ``k``
+        fragment copies back to back.
+        """
+        duration = self.copy_time(nbytes, setups)
         with self._bus.request() as grant:
             yield grant
             self.busy.acquire(self.env.now)
@@ -52,7 +60,7 @@ class MemoryBus:
                 yield from cpu.execute(duration, priority, label=label)
             finally:
                 self.busy.release(self.env.now)
-        self.counters.add("cpu_copies")
+        self.counters.add("cpu_copies", setups)
         self.counters.add("cpu_copy_bytes", nbytes)
 
     def engine_transfer(self, nbytes: int, label: str = "dma") -> Generator:

@@ -38,7 +38,8 @@ from ..pci import PciBus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: link.py needs frames.py
     from ..link import Channel
-from .frames import EtherType, Frame, MacAddress, max_payload
+from .frames import (EtherType, Frame, MacAddress, max_payload,
+                     payload_time_ns, split_train)
 from .interrupts import InterruptCoalescer
 
 __all__ = ["TxDescriptor", "RxFrame", "Nic"]
@@ -46,7 +47,7 @@ __all__ = ["TxDescriptor", "RxFrame", "Nic"]
 _desc_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class TxDescriptor:
     """One transmit request handed to the NIC by the driver."""
 
@@ -59,9 +60,12 @@ class TxDescriptor:
     #: event succeeded when the (last) frame has left the NIC
     on_wire: Optional[Event] = None
     desc_id: int = field(default_factory=lambda: next(_desc_ids))
+    #: flow-mode batch width: this descriptor stands for ``k`` equal-size
+    #: frames (``payload_bytes`` is the train total; see repro.sim.flowmode)
+    train_frames: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class RxFrame:
     """A received frame waiting in (or delivered from) the NIC."""
 
@@ -103,6 +107,10 @@ class Nic:
 
         self._tx_ring: Store = Store(env, capacity=params.tx_ring_slots, name=f"{name}.txring")
         self._rx_buffer: List[RxFrame] = []  # bounded by rx_ring_slots
+        #: rx-buffer occupancy in *frame* units (a flow-mode train entry
+        #: occupies ``train_frames`` ring descriptors) — equals
+        #: ``len(_rx_buffer)`` whenever no train is buffered
+        self._rx_occ = 0
         #: ring descriptors claimed by frames still in rx processing
         #: (admitted, not yet in ``_rx_buffer``) — coincident arrivals
         #: (duplicated/jittered frames) must not overshoot the ring
@@ -136,33 +144,47 @@ class Nic:
 
     def receive_frame(self, frame: Frame) -> None:
         """Link-side entry point: a frame has fully arrived (channel sink)."""
-        self.counters.add("rx_frames")
+        k = frame.train_frames
+        self.counters.add("rx_frames", k)
         self.counters.add("rx_bytes", frame.payload_bytes)
         journeys = self.tracer.journeys
         if frame.corrupted:
             # Ethernet CRC check in NIC hardware: a damaged frame never
             # reaches the host — the reliability layer must retransmit.
-            self.counters.add("rx_crc_drops")
+            self.counters.add("rx_crc_drops", k)
             if journeys is not None:
                 journeys.hop(frame.payload, "nic_drop", self.name, reason="crc")
             return
-        if frame.payload_bytes > self.params.effective_mtu():
+        per_payload = frame.payload_bytes // k if k > 1 else frame.payload_bytes
+        if per_payload > self.params.effective_mtu():
             # Jumbo interoperability (paper §2: "both communicating
             # computers have to use Jumbo frames"): an oversized frame is
             # dropped by a standard-MTU receiver.
-            self.counters.add("rx_oversize_drops")
+            self.counters.add("rx_oversize_drops", k)
             if journeys is not None:
                 journeys.hop(frame.payload, "nic_drop", self.name, reason="oversize")
             return
-        if len(self._rx_buffer) + self._rx_claimed >= self.params.rx_ring_slots:
-            self.counters.add("rx_drops")
+        if k > 1 and self._rx_occ + self._rx_claimed + k > self.params.rx_ring_slots:
+            # Mid-flight ring shortfall: the train cannot occupy k slots
+            # as one unit, so materialize it and admit frame by frame —
+            # partial admission and per-frame drops stay exact.
+            for sub in split_train(frame):
+                self._admit(sub, journeys)
+            return
+        self._admit(frame, journeys)
+
+    def _admit(self, frame: Frame, journeys) -> None:
+        """Ring admission for one (possibly train) frame; counts drops."""
+        k = frame.train_frames
+        if self._rx_occ + self._rx_claimed + k > self.params.rx_ring_slots:
+            self.counters.add("rx_drops", k)
             if journeys is not None:
                 journeys.hop(frame.payload, "nic_drop", self.name, reason="overflow")
             return
         if journeys is not None:
             journeys.hop(frame.payload, "nic_rx", self.name,
                          nbytes=frame.payload_bytes)
-        self._rx_claimed += 1  # hardware claims the descriptor at arrival
+        self._rx_claimed += k  # hardware claims the descriptor(s) at arrival
         rx = RxFrame(frame=frame, arrived_at=self.env.now)
         self.env.process(self._rx_process(rx), name=f"{self.name}.rx")
 
@@ -194,7 +216,12 @@ class Nic:
 
     def _effective_mtu_check(self, desc: TxDescriptor) -> None:
         mtu = self.params.effective_mtu()
-        if desc.payload_bytes > mtu and not self.params.supports_fragmentation:
+        nbytes = desc.payload_bytes
+        if desc.train_frames > 1:
+            # A train is k equal-size frames: the MTU bound applies to
+            # each constituent frame, not the batch total.
+            nbytes //= desc.train_frames
+        if nbytes > mtu and not self.params.supports_fragmentation:
             raise ValueError(
                 f"descriptor of {desc.payload_bytes} B exceeds MTU {mtu} and "
                 f"{self.name} has no fragmentation offload — the protocol "
@@ -205,6 +232,80 @@ class Nic:
         while True:
             desc: TxDescriptor = yield self._tx_ring.get()
             span = self.tracer.begin(self.name, "nic_tx", nbytes=desc.payload_bytes)
+            if desc.train_frames > 1:
+                k = desc.train_frames
+                per_frame = desc.payload_bytes // k
+                flow = self.env.flow
+                route = (flow.hop_route(self, desc.dst)
+                         if flow is not None else None)
+                if (route is not None and desc.on_wire is None
+                        and not self._tx_fifo.items and route.hop_clear()):
+                    # Analytic fast path.  Pay the *head* frame's DMA
+                    # inline (the PCI grant paces back-to-back trains
+                    # exactly as k per-frame transfers would) and hold
+                    # the bus for the remaining k-1 frames in the
+                    # background — utilization and inter-train cadence
+                    # stay exact, while the train's head reaches the
+                    # destination at the pipelined (cut-through) time
+                    # instead of after k serial hop charges.  The
+                    # receive side then drains the k frames with the
+                    # fully simulated ring/IRQ machinery, overlapping
+                    # the background DMA just as the exact per-packet
+                    # schedule does.
+                    yield from self.pci.dma(per_frame, priority=2,
+                                            label=f"{self.name}.tx")
+                    self.env.process(
+                        self.pci.dma(desc.payload_bytes - per_frame,
+                                     priority=2, label=f"{self.name}.tx",
+                                     transactions=k - 1),
+                        name=f"{self.name}.txdma",
+                    )
+                    yield self.env.timeout(self.params.frame_processing_ns)
+                    frame = Frame(
+                        src=self.mac,
+                        dst=desc.dst,
+                        ethertype=desc.ethertype,
+                        payload_bytes=desc.payload_bytes,
+                        payload=desc.payload,
+                        train_frames=k,
+                    )
+                    if desc.from_user_memory:
+                        self.counters.add("tx_zero_copy", k)
+                    self.counters.add("tx_frames", k)
+                    self.counters.add("tx_bytes", desc.payload_bytes)
+                    latency = (
+                        payload_time_ns(per_frame, route.up.params)
+                        + route.up.params.propagation_ns
+                        + route.forward_ns
+                        + payload_time_ns(per_frame, route.down.params)
+                        + route.down.params.propagation_ns
+                    )
+                    self.env.call_later(
+                        latency, lambda f=frame, r=route: r.complete_hop(f)
+                    )
+                    span.end(frames=k, analytic=True)
+                    continue
+                # Exact-resource train path: one bus-master burst charging
+                # k descriptor setups + the batch bytes, k frames' worth of
+                # firmware processing, and a single batched FIFO entry —
+                # closed-form equal to k back-to-back per-frame passes.
+                yield from self.pci.dma(desc.payload_bytes, priority=2,
+                                        label=f"{self.name}.tx",
+                                        transactions=k)
+                yield self.env.timeout(self.params.frame_processing_ns * k)
+                frame = Frame(
+                    src=self.mac,
+                    dst=desc.dst,
+                    ethertype=desc.ethertype,
+                    payload_bytes=desc.payload_bytes,
+                    payload=desc.payload,
+                    train_frames=k,
+                )
+                yield self._tx_fifo.put((frame, desc.on_wire))
+                if desc.from_user_memory:
+                    self.counters.add("tx_zero_copy", k)
+                span.end(frames=k)
+                continue
             # Bus-master DMA: fetch the payload (plus headers) across PCI.
             yield from self.pci.dma(desc.payload_bytes, priority=2, label=f"{self.name}.tx")
             journeys = self.tracer.journeys
@@ -250,7 +351,7 @@ class Nic:
             if journeys is not None:
                 journeys.hop(frame.payload, "wire", self.name,
                              nbytes=frame.payload_bytes)
-            self.counters.add("tx_frames")
+            self.counters.add("tx_frames", frame.train_frames)
             self.counters.add("tx_bytes", frame.payload_bytes)
             if on_wire is not None:
                 on_wire.succeed(self.env.now)
@@ -260,7 +361,8 @@ class Nic:
     # ------------------------------------------------------------------
     def _rx_process(self, rx: RxFrame) -> Generator:
         span = self.tracer.begin(self.name, "nic_rx", nbytes=rx.frame.payload_bytes)
-        yield self.env.timeout(self.params.frame_processing_ns)
+        k = rx.frame.train_frames
+        yield self.env.timeout(self.params.frame_processing_ns * k)
         marker = rx.frame.payload if isinstance(rx.frame.payload, _FragmentMarker) else None
         if marker is not None and self.params.supports_fragmentation:
             # On-NIC reassembly: accumulate, deliver once complete.
@@ -285,21 +387,25 @@ class Nic:
             # NIC pushes straight to host memory, then tells the host.
             yield from self.pci.dma(rx.frame.payload_bytes, priority=2, label=f"{self.name}.rxpush")
             rx.in_host_memory = True
-            self._rx_claimed -= 1  # descriptor recycled after the push
+            self._rx_claimed -= k  # descriptor recycled after the push
             if self.push_callback is not None:
                 self.push_callback(rx)
             span.end(pushed=True)
             return
-        self._rx_claimed -= 1  # claimed -> buffered
+        self._rx_claimed -= k  # claimed -> buffered
+        self._rx_occ += k
         self._rx_buffer.append(rx)
-        self._rx_depth_gauge.set(len(self._rx_buffer))
+        self._rx_depth_gauge.set(self._rx_occ)
         # Receiver-overrun accounting: the high-water mark the bounded-
         # memory invariant audits against ``rx_ring_slots``.
-        if len(self._rx_buffer) > self.rx_buffer_peak:
-            self.rx_buffer_peak = len(self._rx_buffer)
+        if self._rx_occ > self.rx_buffer_peak:
+            self.rx_buffer_peak = self._rx_occ
             self.counters.set("rx_buffer_peak", self.rx_buffer_peak)
         span.end()
-        self.coalescer.note_frame()
+        if k > 1:
+            self.coalescer.note_train(k)
+        else:
+            self.coalescer.note_frame()
 
     def _assert_irq(self) -> None:
         self.counters.add("irqs_asserted")
@@ -309,8 +415,12 @@ class Nic:
 
     # -- driver-facing rx services (irq-pull mode) -------------------------
     def rx_pending(self) -> int:
-        """Frames waiting on-card for the driver."""
+        """Ring entries waiting on-card for the driver (a train is one)."""
         return len(self._rx_buffer)
+
+    def rx_headroom(self) -> int:
+        """Free rx descriptors right now (flow-mode admission check)."""
+        return self.params.rx_ring_slots - self._rx_occ - self._rx_claimed
 
     def peek_rx(self) -> Optional[RxFrame]:
         """The oldest pending rx frame without removing it (or None)."""
@@ -319,21 +429,31 @@ class Nic:
     def dma_frame_to_host(self) -> Generator:
         """Driver-side: move the oldest pending frame to host memory.
 
-        Charges the PCI transfer; the *caller* (the driver, in interrupt
-        context) stays busy for its own per-frame costs.  Returns the
-        :class:`RxFrame`.
+        Charges the PCI transfer (one burst of ``train_frames``
+        descriptor setups for a flow-mode train); the *caller* (the
+        driver, in interrupt context) stays busy for its own per-frame
+        costs.  Returns the :class:`RxFrame`.
         """
         if not self._rx_buffer:
             raise RuntimeError(f"{self.name}: no pending rx frame")
         rx = self._rx_buffer.pop(0)
-        self._rx_depth_gauge.set(len(self._rx_buffer))
-        yield from self.pci.dma(rx.frame.payload_bytes, priority=2, label=f"{self.name}.rx")
+        self._rx_occ -= rx.frame.train_frames
+        self._rx_depth_gauge.set(self._rx_occ)
+        yield from self.pci.dma(rx.frame.payload_bytes, priority=2,
+                                label=f"{self.name}.rx",
+                                transactions=rx.frame.train_frames)
         rx.in_host_memory = True
         return rx
 
     def irq_service_done(self) -> None:
-        """Driver-side: drain finished; re-arm coalescing."""
-        self.coalescer.service_done(len(self._rx_buffer))
+        """Driver-side: drain finished; re-arm coalescing.
+
+        Pending frames are counted off the buffer itself (train-aware)
+        rather than the ``_rx_occ`` gauge so frames parked on the ring
+        by other means (tests, diagnostics) are still serviced.
+        """
+        pending = sum(rx.frame.train_frames for rx in self._rx_buffer)
+        self.coalescer.service_done(pending)
 
 
 @dataclass

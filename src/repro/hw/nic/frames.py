@@ -23,7 +23,9 @@ __all__ = [
     "Frame",
     "wire_bytes",
     "frame_time_ns",
+    "payload_time_ns",
     "max_payload",
+    "split_train",
 ]
 
 
@@ -58,13 +60,20 @@ class EtherType:
 _frame_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One Ethernet frame on the wire.
 
     ``payload_bytes`` counts everything above the MAC header (protocol
     headers + user data); MAC header, CRC, preamble and IFG are added by
     :func:`wire_bytes` / :func:`frame_time_ns`.
+
+    ``train_frames`` is the flow-mode batch width: ``1`` for an ordinary
+    frame, ``k`` when this object stands for ``k`` equal-size back-to-back
+    frames advancing as one analytic batch (``payload_bytes`` is then the
+    train *total*; every hop computes per-frame costs from
+    ``payload_bytes / train_frames`` and multiplies back — see
+    :mod:`repro.sim.flowmode`).
     """
 
     src: MacAddress
@@ -75,6 +84,8 @@ class Frame:
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     #: damaged in flight — fails the receiving NIC's CRC check
     corrupted: bool = False
+    #: frames represented by this object (> 1 only for flow-mode trains)
+    train_frames: int = 1
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
@@ -86,15 +97,57 @@ class Frame:
 
 
 def wire_bytes(frame: Frame, link: LinkParams) -> int:
-    """Total bytes the frame occupies on the wire (incl. preamble + IFG)."""
-    mac_frame = link.mac_header_bytes + frame.payload_bytes + link.crc_bytes
+    """Total bytes the frame occupies on the wire (incl. preamble + IFG).
+
+    For a flow-mode train this is the exact sum over the batch: ``k``
+    times the wire bytes of one constituent frame (the per-frame payload
+    divides evenly by construction), so serialization time is identical
+    to sending the ``k`` frames back to back.
+    """
+    k = frame.train_frames
+    per_payload = frame.payload_bytes // k if k > 1 else frame.payload_bytes
+    mac_frame = link.mac_header_bytes + per_payload + link.crc_bytes
     mac_frame = max(mac_frame, link.min_frame_bytes)
-    return link.preamble_bytes + mac_frame + link.ifg_bytes
+    return (link.preamble_bytes + mac_frame + link.ifg_bytes) * k
 
 
 def frame_time_ns(frame: Frame, link: LinkParams) -> float:
     """Serialization time of the frame at the link rate."""
     return wire_bytes(frame, link) * 8 / link.rate_bps * 1e9
+
+
+def payload_time_ns(payload_bytes: int, link: LinkParams) -> float:
+    """Serialization time of one frame carrying ``payload_bytes``.
+
+    Same framing arithmetic as :func:`wire_bytes` without needing a
+    :class:`Frame` object — used by the flow-mode engine to compute
+    closed-form hop latencies.
+    """
+    mac_frame = link.mac_header_bytes + payload_bytes + link.crc_bytes
+    mac_frame = max(mac_frame, link.min_frame_bytes)
+    return (link.preamble_bytes + mac_frame + link.ifg_bytes) * 8 / link.rate_bps * 1e9
+
+
+def split_train(frame: Frame) -> list:
+    """Materialize a train back into its constituent per-packet frames.
+
+    The fallback boundary of the flow-mode fast path: a hop that cannot
+    keep the batch together (rx-ring shortfall, mid-flight blackout)
+    splits the train and continues exact per-frame simulation.  The
+    train's payload is duck-typed — anything with a ``packets`` sequence
+    (:class:`repro.protocols.headers.ClicTrain`) works; each packet gets
+    its own frame with an equal share of the payload bytes.
+    """
+    k = frame.train_frames
+    if k <= 1:
+        return [frame]
+    per_payload = frame.payload_bytes // k
+    return [
+        Frame(src=frame.src, dst=frame.dst, ethertype=frame.ethertype,
+              payload_bytes=per_payload, payload=packet,
+              corrupted=frame.corrupted)
+        for packet in frame.payload.packets
+    ]
 
 
 def max_payload(mtu: int) -> int:

@@ -58,6 +58,27 @@ class InterruptCoalescer:
         elif self._timer is None:
             self._start_timer()
 
+    def note_train(self, k: int) -> None:
+        """NIC-side: a flow-mode train of ``k`` frames awaits service.
+
+        Batch accounting for the closed-form path: the ``k`` frames
+        land at once, so the frame-count threshold is evaluated once
+        against the whole batch instead of ``k`` times — one IRQ per
+        train when ``k`` meets the threshold, exactly what ``k``
+        back-to-back :meth:`note_frame` calls would have produced.
+        """
+        self._pending += k
+        self.counters.add("frames_noted", k)
+        if self._in_service:
+            return
+        if not self.params.coalescing_enabled:
+            self._fire()
+            return
+        if self._pending >= self.params.coalesce_frames:
+            self._fire()
+        elif self._timer is None:
+            self._start_timer()
+
     def service_done(self, frames_still_pending: int) -> None:
         """Driver-side: the IRQ handler finished draining.
 

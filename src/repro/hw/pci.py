@@ -34,18 +34,31 @@ class PciBus:
         self.busy = BusyTracker()
         self.counters = Counters()
 
-    def transfer_time(self, nbytes: int) -> float:
-        """Bus-held time for one DMA transaction of ``nbytes``."""
+    def transfer_time(self, nbytes: int, transactions: int = 1) -> float:
+        """Bus-held time for ``transactions`` DMA setups moving ``nbytes``.
+
+        A flow-mode train burst charges ``transactions`` descriptor
+        setups plus the batch bytes in one bus hold — the exact sum of
+        the per-frame transactions it replaces.
+        """
         if nbytes < 0:
             raise ValueError("negative transfer size")
+        if transactions < 1:
+            raise ValueError("transactions must be >= 1")
         return (
-            self.params.transaction_setup_ns
+            self.params.transaction_setup_ns * transactions
             + nbytes / self.params.effective_bw_Bps * 1e9
         )
 
-    def dma(self, nbytes: int, priority: int = 5, label: str = "dma") -> Generator:
-        """Perform one bus-master DMA transaction of ``nbytes``."""
-        duration = self.transfer_time(nbytes)
+    def dma(self, nbytes: int, priority: int = 5, label: str = "dma",
+            transactions: int = 1) -> Generator:
+        """Perform a bus-master DMA burst of ``nbytes``.
+
+        ``transactions`` counts the descriptor setups charged (and
+        tallied) for the burst: 1 for an ordinary frame, ``k`` when a
+        flow-mode train moves ``k`` frames' bytes in one bus hold.
+        """
+        duration = self.transfer_time(nbytes, transactions)
         with self._bus.request(priority=priority) as grant:
             yield grant
             self.busy.acquire(self.env.now)
@@ -53,7 +66,7 @@ class PciBus:
                 yield self.env.timeout(duration)
             finally:
                 self.busy.release(self.env.now)
-        self.counters.add(f"{label}_transactions")
+        self.counters.add(f"{label}_transactions", transactions)
         self.counters.add(f"{label}_bytes", nbytes)
 
     def pio(self, priority: int = 0, label: str = "pio") -> Generator:

@@ -60,6 +60,16 @@ class SwitchPort:
         self.max_depth = 0
         switch.env.process(self._pump(), name=f"switch.port{index}.tx")
 
+    @property
+    def occupancy(self) -> int:
+        """Queue occupancy in *frame* units.
+
+        A flow-mode train entry stands for ``train_frames`` frames;
+        with no trains queued this equals ``len(queue.items)``, keeping
+        depth gauges bit-identical to the pre-hybrid simulator.
+        """
+        return sum(f.train_frames for f in self.queue.items)
+
     def _pump(self) -> Generator:
         while True:
             frame = yield self.queue.get()
@@ -71,7 +81,7 @@ class SwitchPort:
 
     def _note_depth(self) -> None:
         """Refresh the depth gauge and the cluster-wide high-water mark."""
-        depth = len(self.queue.items)
+        depth = self.occupancy
         self.max_depth = max(self.max_depth, depth)
         self.switch.counters.set(f"port{self.index}_depth", depth)
         self.switch.note_depth(self.max_depth)
@@ -79,7 +89,7 @@ class SwitchPort:
     def _drop_for_blackout(self, frame: Frame) -> bool:
         """Drop (counted) when a blackout window covers now."""
         if self.blackouts and self.in_blackout(self.switch.env.now):
-            self.switch.counters.add("blackout_drops")
+            self.switch.counters.add("blackout_drops", frame.train_frames)
             journeys = self.switch._journeys()
             if journeys is not None:
                 journeys.hop(frame.payload, "switch_drop", "switch",
@@ -92,16 +102,17 @@ class SwitchPort:
         or the port is blacked out — the ``"drop"`` backpressure mode."""
         if self._drop_for_blackout(frame):
             return
+        k = frame.train_frames
         journeys = self.switch._journeys()
-        if len(self.queue.items) >= self.queue.capacity:
-            self.switch.counters.add("drops")
+        if self.occupancy + k > self.queue.capacity:
+            self.switch.counters.add("drops", k)
             if journeys is not None:
                 journeys.hop(frame.payload, "switch_drop", "switch",
                              port=self.index, reason="overflow")
             return
         if journeys is not None:
             journeys.hop(frame.payload, "switch", "switch",
-                         port=self.index, depth=len(self.queue.items))
+                         port=self.index, depth=self.occupancy)
         self.queue.put(frame)
         self._note_depth()
 
@@ -119,7 +130,7 @@ class SwitchPort:
         journeys = self.switch._journeys()
         if journeys is not None:
             journeys.hop(frame.payload, "switch", "switch",
-                         port=self.index, depth=len(self.queue.items))
+                         port=self.index, depth=self.occupancy)
         if len(self.queue.items) >= self.queue.capacity:
             self.switch.counters.add("pause_events")
             paused_at = self.switch.env.now
@@ -210,11 +221,33 @@ class Switch:
         """Sink callable for the channel feeding this switch from a device."""
 
         def _receive(frame: Frame) -> None:
+            if frame.train_frames > 1 and self.backpressure == "drop":
+                # Flow-mode train: forwarding is one timer + a
+                # synchronous enqueue (drop mode never blocks), so the
+                # whole store-and-forward stage costs one event.
+                self.env.call_later(
+                    self.forward_ns,
+                    lambda: self._forward_train(frame, from_port),
+                )
+                return
             self.env.process(
                 self._forward(frame, from_port), name="switch.forward"
             )
 
         return _receive
+
+    def _forward_train(self, frame: Frame, from_port: SwitchPort) -> None:
+        """Synchronous forwarding for a train (drop-mode fast path)."""
+        k = frame.train_frames
+        self.counters.add("forwarded", k)
+        port = self._mac_table.get(frame.dst)
+        if port is None:
+            self.counters.add("unknown_dst", k)
+            return
+        if port is from_port:
+            self.counters.add("hairpin_dropped", k)
+            return
+        port.enqueue(frame)
 
     def _enqueue(self, port: SwitchPort, frame: Frame) -> Generator:
         """Hand ``frame`` to ``port`` per the backpressure mode."""
@@ -225,7 +258,8 @@ class Switch:
 
     def _forward(self, frame: Frame, from_port: SwitchPort) -> Generator:
         yield self.env.timeout(self.forward_ns)
-        self.counters.add("forwarded")
+        k = frame.train_frames
+        self.counters.add("forwarded", k)
         if frame.is_broadcast:
             for port in self.ports:
                 if port is not from_port:
@@ -235,9 +269,9 @@ class Switch:
         if port is None:
             # Unknown unicast: a real switch floods; in a closed cluster
             # this indicates a wiring bug, so count and drop loudly.
-            self.counters.add("unknown_dst")
+            self.counters.add("unknown_dst", k)
             return
         if port is from_port:
-            self.counters.add("hairpin_dropped")
+            self.counters.add("hairpin_dropped", k)
             return
         yield from self._enqueue(port, frame)

@@ -322,7 +322,10 @@ def _slo_section(card: Dict[str, Any]) -> str:
             "</tr>")
     verdict = _status_cell("ok" if card.get("ok") else "violated",
                            "pass" if card.get("ok") else "fail")
-    return (f'<p class="sub">{_esc(card.get("slo", ""))}: {verdict}</p>'
+    sub = _esc(card.get("slo", ""))
+    if card.get("description"):
+        sub += f' — {_esc(card["description"])}'
+    return (f'<p class="sub">{sub}: {verdict}</p>'
             "<table><tr><th>objective</th><th>metric</th><th>kind</th>"
             "<th class='num'>threshold</th><th class='num'>value</th>"
             "<th class='num'>margin</th><th>status</th></tr>"

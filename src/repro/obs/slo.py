@@ -272,6 +272,9 @@ def scorecard_table(card: Dict[str, Any]) -> str:
         for r in sorted(card["objectives"], key=lambda r: (r["ok"], r["name"]))
     ]
     verdict = "PASS" if card["ok"] else f"FAIL ({len(card['violations'])} violated)"
-    return format_table(
+    table = format_table(
         ["objective", "metric", "kind", "threshold", "value", "margin", "status"],
         rows, title=f"SLO {card['slo']}: {verdict}")
+    if card.get("description"):
+        table += f"\n  {card['description']}"
+    return table

@@ -66,7 +66,14 @@ class VendorDriver:
         driver (§3.1: "the driver ... finishes indicating to _MODULE if
         it is possible or not to send the data").
         """
-        yield from self.kernel.cpu.execute(self.params.tx_call_ns, PRIO_KERNEL, label="drv_tx")
+        # A flow-mode train skb carries a batch payload (anything with a
+        # ``packets`` sequence): charge k driver-entry costs in one CPU
+        # slice and post one k-wide descriptor.
+        packets = getattr(skb.payload, "packets", None)
+        train_frames = len(packets) if packets is not None else 1
+        yield from self.kernel.cpu.execute(
+            self.params.tx_call_ns * train_frames, PRIO_KERNEL, label="drv_tx"
+        )
         desc = TxDescriptor(
             dst=dst,
             ethertype=ethertype,
@@ -74,10 +81,11 @@ class VendorDriver:
             payload=skb.payload,
             from_user_memory=skb.is_zero_copy,
             on_wire=on_wire,
+            train_frames=train_frames,
         )
         accepted = self.nic.try_post_tx(desc)
         if accepted:
-            self.counters.add("tx_accepted")
+            self.counters.add("tx_accepted", train_frames)
             self.tracer.instant(
                 self.name, "driver_tx",
                 pkt=_pkt_id(skb.payload), nbytes=skb.total_bytes(),
@@ -102,6 +110,12 @@ class VendorDriver:
         yield from cpu.execute(self.params.irq_overhead_ns, PRIO_IRQ, label="drv_irq")
         drained = 0
         while self.nic.rx_pending() and drained < self.params.rx_budget_per_irq:
+            head = self.nic.peek_rx()
+            k = head.frame.train_frames
+            if k > 1 and drained + k > self.params.rx_budget_per_irq:
+                # A train drains whole or not at all; leave it pending and
+                # let ``service_done`` schedule the next IRQ round.
+                break
             t0 = env.now
             frame_span = self.tracer.begin(self.name, "rx_frame")
             if direct:
@@ -126,7 +140,8 @@ class VendorDriver:
             else:
                 # Stock path: allocate sk_buff, move NIC -> system memory
                 # with the CPU captive, defer protocol work to a BH.
-                yield from cpu.execute(self.params.rx_per_frame_ns, PRIO_IRQ, label="drv_rx_skb")
+                # A train charges its k per-frame costs in one CPU slice.
+                yield from cpu.execute(self.params.rx_per_frame_ns * k, PRIO_IRQ, label="drv_rx_skb")
                 rx = yield from cpu.occupy(self.nic.dma_frame_to_host(), PRIO_IRQ, label="drv_rx_dma")
                 journeys = self.tracer.journeys
                 if journeys is not None:
@@ -142,7 +157,7 @@ class VendorDriver:
                     pkt=_pkt_id(rx.frame.payload), t0=t0, nbytes=rx.frame.payload_bytes,
                 )
                 self.kernel.deliver_rx(rx.frame.ethertype, skb, in_irq_context=True)
-            drained += 1
+            drained += k
         self.counters.add("rx_frames", drained)
         self.tracer.instant(self.name, "irq_end", drained=drained)
         irq_span.end(drained=drained)

@@ -122,17 +122,25 @@ class Kernel:
     # ------------------------------------------------------------------
     # data movement
     # ------------------------------------------------------------------
-    def copy_user_to_system(self, nbytes: int, priority: int = PRIO_KERNEL) -> Generator:
-        """CPU copy from user buffer into kernel memory (the "1-copy")."""
-        self.counters.add("copies_user_to_system")
-        self.counters.add("copy_bytes", nbytes)
-        yield from self.memory.cpu_copy(self.cpu, nbytes, priority, label="u2s")
+    def copy_user_to_system(self, nbytes: int, priority: int = PRIO_KERNEL,
+                            setups: int = 1) -> Generator:
+        """CPU copy from user buffer into kernel memory (the "1-copy").
 
-    def copy_system_to_user(self, nbytes: int, priority: int = PRIO_KERNEL) -> Generator:
-        """CPU copy from kernel memory to the user buffer (receive side)."""
-        self.counters.add("copies_system_to_user")
+        ``setups`` batches a flow-mode train's per-fragment copies into
+        one bus hold charging ``setups`` copy-setup costs.
+        """
+        self.counters.add("copies_user_to_system", setups)
         self.counters.add("copy_bytes", nbytes)
-        yield from self.memory.cpu_copy(self.cpu, nbytes, priority, label="s2u")
+        yield from self.memory.cpu_copy(self.cpu, nbytes, priority, label="u2s",
+                                        setups=setups)
+
+    def copy_system_to_user(self, nbytes: int, priority: int = PRIO_KERNEL,
+                            setups: int = 1) -> Generator:
+        """CPU copy from kernel memory to the user buffer (receive side)."""
+        self.counters.add("copies_system_to_user", setups)
+        self.counters.add("copy_bytes", nbytes)
+        yield from self.memory.cpu_copy(self.cpu, nbytes, priority, label="s2u",
+                                        setups=setups)
 
     def copy_user_to_user(self, nbytes: int, priority: int = PRIO_KERNEL) -> Generator:
         """Same-node process-to-process copy (CLIC local delivery)."""

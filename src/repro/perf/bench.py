@@ -36,6 +36,7 @@ __all__ = [
     "CROSSCHECK_TOLERANCE",
     "SCENARIOS",
     "current_rev",
+    "flow_packet_diff",
     "run_bench",
     "write_bench",
 ]
@@ -58,6 +59,15 @@ RESILIENCE_TOLERANCE = 0.10
 
 #: simulator-cost drift allowed before the events-processed gate trips
 PROFILE_TOLERANCE = 0.25
+
+#: hard floor on the bulk-flowmode event reduction (the hybrid engine's
+#: reason to exist); the scenario errors out below this, independent of
+#: any baseline drift tolerance
+FLOWMODE_MIN_RATIO = 10.0
+
+#: max relative bandwidth disagreement between the exact and hybrid
+#: engines on the bulk-flowmode point before the scenario errors out
+FLOWMODE_BW_TOLERANCE = 0.05
 
 
 def _gate(value: float, better: str, tol: float = GATE_TOLERANCE) -> Dict[str, Any]:
@@ -267,6 +277,71 @@ def _scenario_journey(quick: bool) -> Tuple[Dict, Dict]:
     return gates, metrics
 
 
+def _scenario_bulk_flowmode(quick: bool) -> Tuple[Dict, Dict]:
+    """Hybrid-engine headline: the fig4 bulk point, exact vs flow mode.
+
+    Runs the same 1 MB MTU-1500 stream twice — ``flow_mode="off"``
+    (the packet-exact reference) and ``"auto"`` (analytic bulk-train
+    batching) — and *errors out* (like the fig7 cross-check) unless the
+    hybrid engine cuts ``events_processed`` by at least
+    :data:`FLOWMODE_MIN_RATIO` while reproducing the exact engine's
+    bandwidth within :data:`FLOWMODE_BW_TOLERANCE`.  The gates then pin
+    both numbers against the committed baseline like any other scenario.
+    """
+    from dataclasses import replace
+
+    from ..cluster import Cluster
+    from ..config import MTU_STANDARD, granada2003
+    from ..workloads import clic_pair, stream
+
+    nbytes, messages = (1_000_000, 8) if quick else (2_000_000, 16)
+
+    def one(mode: str):
+        cfg = replace(granada2003(mtu=MTU_STANDARD),
+                      profile=True).with_flow_mode(mode)
+        cluster = Cluster(cfg, protocols=("clic",))
+        res = stream(cluster, clic_pair(), nbytes, messages=messages)
+        return res, cluster
+
+    res_off, cl_off = one("off")
+    res_auto, cl_auto = one("auto")
+    ev_off = cl_off.env.profiler.events_processed
+    ev_auto = cl_auto.env.profiler.events_processed
+    ratio = ev_off / ev_auto
+    if ratio < FLOWMODE_MIN_RATIO:
+        raise ValueError(
+            f"flow mode reduced events only {ratio:.2f}x "
+            f"({ev_off} -> {ev_auto}); the bulk fast path requires "
+            f">= {FLOWMODE_MIN_RATIO:.0f}x")
+    bw_rel = abs(res_auto.bandwidth_mbps - res_off.bandwidth_mbps) / res_off.bandwidth_mbps
+    if bw_rel > FLOWMODE_BW_TOLERANCE:
+        raise ValueError(
+            f"flow mode moved bulk bandwidth {bw_rel:.1%} "
+            f"(off={res_off.bandwidth_mbps:.2f}, "
+            f"auto={res_auto.bandwidth_mbps:.2f} MB/s); "
+            f"tolerance is {FLOWMODE_BW_TOLERANCE:.0%}")
+
+    flow = dict(cl_auto.env.flow.counters)
+    gates = {
+        "event_reduction": _gate(ratio, "higher"),
+        "bw_auto_mbps": _gate(res_auto.bandwidth_mbps, "higher"),
+        "bw_off_mbps": _gate(res_off.bandwidth_mbps, "higher"),
+    }
+    metrics = {
+        "events_off": ev_off,
+        "events_auto": ev_auto,
+        "event_reduction": ratio,
+        "bw_rel_err": bw_rel,
+        "trains": flow.get("trains", 0),
+        "frames_batched": flow.get("frames_batched", 0),
+        "acks_express": flow.get("acks_express", 0),
+        "fallbacks": {k[len("fallback_"):]: v for k, v in flow.items()
+                      if k.startswith("fallback_")},
+        "message_bytes": nbytes,
+    }
+    return gates, metrics
+
+
 #: scenario name -> runner(quick) -> (gates, metrics); pinned order
 SCENARIOS: List[Tuple[str, Callable[[bool], Tuple[Dict, Dict]]]] = [
     ("headline", _scenario_headline),
@@ -275,6 +350,7 @@ SCENARIOS: List[Tuple[str, Callable[[bool], Tuple[Dict, Dict]]]] = [
     ("fig7", _scenario_fig7),
     ("resilience", _scenario_resilience),
     ("journey", _scenario_journey),
+    ("bulk-flowmode", _scenario_bulk_flowmode),
 ]
 
 
@@ -346,11 +422,21 @@ def run_bench(quick: bool = True, scenarios: Optional[List[str]] = None,
         wall_by_scenario[name] = round(wall, 3)
         for key in total_events:
             total_events[key] += profile[key]
+    # Scenarios that A/B the hybrid flow engine publish an
+    # ``event_reduction`` metric; surface those ratios in the totals so
+    # the scorecard (``repro.obs.report``) can headline the speedup.
+    reductions = {
+        name: entry["metrics"]["event_reduction"]
+        for name, entry in doc["scenarios"].items()
+        if "event_reduction" in entry.get("metrics", {})
+    }
     doc["totals"] = {
         "wall_s": round(total_wall, 3),
         "wall_by_scenario": wall_by_scenario,
         **total_events,
     }
+    if reductions:
+        doc["totals"]["event_reduction_by_scenario"] = reductions
     return jsonable(doc)
 
 
@@ -359,3 +445,84 @@ def write_bench(doc: Dict[str, Any], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def flow_packet_diff(nbytes: int = 1_000_000, messages: int = 8,
+                     tolerance: float = FLOWMODE_BW_TOLERANCE) -> Dict[str, Any]:
+    """:class:`~repro.obs.RunDiff` document: one bulk run, both engines.
+
+    Runs the bulk-flowmode point under ``flow_mode="off"`` and
+    ``"auto"`` and splits the comparison in two, matching the engine's
+    contract:
+
+    * ``physics`` — transfer result and protocol conservation counters,
+      which must agree within ``tolerance`` (``within_tolerance`` is
+      the verdict CI gates on);
+    * ``report`` — the full metric-by-metric diff, informational only:
+      event-granularity counters (IRQs, timer pops, ack frames)
+      legitimately collapse by ~an order of magnitude in flow mode.
+    """
+    from dataclasses import replace
+
+    from ..cluster import Cluster
+    from ..config import MTU_STANDARD, granada2003
+    from ..obs import RunDiff
+    from ..workloads import clic_pair, stream
+
+    #: metric-snapshot keys the flow engine must conserve exactly
+    physics_metrics = (
+        "node0.clic.bytes_sent", "node1.clic.bytes_rx",
+        "node0.clic.pkts_tx", "node1.clic.pkts_rx",
+        "node0.nic0.tx_frames", "node1.nic0.rx_frames",
+    )
+
+    runs: Dict[str, Dict[str, Any]] = {}
+    for mode in ("off", "auto"):
+        cfg = replace(granada2003(mtu=MTU_STANDARD),
+                      profile=True).with_flow_mode(mode)
+        cluster = Cluster(cfg, protocols=("clic",))
+        res = stream(cluster, clic_pair(), nbytes, messages=messages)
+        snap = cluster.metrics.snapshot()
+        runs[mode] = {
+            "result": {
+                "bandwidth_mbps": res.bandwidth_mbps,
+                "elapsed_ns": res.elapsed_ns,
+                "nbytes_total": res.nbytes_total,
+            },
+            "events_processed": cluster.env.profiler.events_processed,
+            "metrics": jsonable(snap),
+            "flow": dict(cluster.env.flow.counters) if cluster.env.flow else {},
+        }
+
+    def physics_view(run: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "result": run["result"],
+            "conservation": {k: run["metrics"].get(k)
+                             for k in physics_metrics},
+        }
+
+    physics = RunDiff(physics_view(runs["off"]), physics_view(runs["auto"]),
+                      tolerance=tolerance)
+    full = RunDiff(
+        {k: runs["off"][k] for k in ("result", "events_processed", "metrics")},
+        {k: runs["auto"][k] for k in ("result", "events_processed", "metrics")},
+        tolerance=tolerance)
+    return jsonable({
+        "schema": "repro.flowdiff/1",
+        "a": "flow_mode=off",
+        "b": "flow_mode=auto",
+        "message_bytes": nbytes,
+        "messages": messages,
+        "tolerance": tolerance,
+        "event_reduction": (runs["off"]["events_processed"]
+                            / runs["auto"]["events_processed"]),
+        "within_tolerance": physics.within_tolerance(),
+        "runs": runs,
+        "physics": [
+            {"key": d.key, "a": d.a, "b": d.b, "status": d.status}
+            for d in physics.deltas
+        ],
+        "report": full.report(
+            only_changes=False,
+            title="flow-vs-packet: flow_mode=off -> auto"),
+    })

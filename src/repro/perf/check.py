@@ -79,6 +79,14 @@ def slo_from_bench(baseline: Dict[str, Any],
     ``python -m repro.perf check`` enforces, now as declared data any
     SLO consumer (dashboard, CI scorecard) can evaluate.
     """
+    # Flow-vs-packet speedup headlines (totals.event_reduction_by_scenario,
+    # published by scenarios that A/B the hybrid engine) ride along in the
+    # spec description so scorecard tables and the dashboard show them.
+    reductions = {
+        **(baseline.get("totals", {}).get("event_reduction_by_scenario") or {}),
+        **((candidate or {}).get("totals", {})
+           .get("event_reduction_by_scenario") or {}),
+    }
     specs: Dict[str, SLOSpec] = {}
     for scenario in sorted(baseline.get("scenarios", {})):
         base_gates = (baseline["scenarios"][scenario] or {}).get("gates", {})
@@ -99,10 +107,15 @@ def slo_from_bench(baseline: Dict[str, Any],
                 kind=kind, threshold=threshold,
                 description=f"baseline {base:g}, {better} is better, "
                             f"tol {tol:.0%}"))
+        description = (f"perf gates of scenario {scenario!r} vs baseline "
+                       f"{baseline.get('rev', '?')}")
+        if scenario in reductions:
+            description += (f"; hybrid flow engine: "
+                            f"{reductions[scenario]:.1f}x fewer events "
+                            f"than packet-exact")
         specs[scenario] = SLOSpec(
             name=f"bench.{scenario}",
-            description=f"perf gates of scenario {scenario!r} vs baseline "
-                        f"{baseline.get('rev', '?')}",
+            description=description,
             objectives=tuple(objectives))
     return specs
 

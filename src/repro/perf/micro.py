@@ -15,10 +15,20 @@ then cancel-and-re-arm on every "ack", so only the last timer fires):
 * ``timeout_chain`` — a single process yielding a chain of Timeouts:
   the baseline step/dispatch cost both timer shapes sit on.
 
-Wall time is informational (machine-dependent, never gated); the ratio
-``timer_process / timer_fastpath`` is the point of the document — it
-isolates what the slotted-timer rewrite in the reliability and NIC
-layers bought, independent of protocol behaviour.
+Two more cases isolate allocation churn on the per-frame objects
+(:class:`~repro.hw.nic.frames.Frame` and friends carry ``__slots__``
+because a bulk transfer allocates one of each per fragment per hop):
+
+* ``frame_alloc_slots`` — allocate/touch/drop the shipped slotted
+  :class:`~repro.hw.nic.frames.Frame`;
+* ``frame_alloc_dict`` — the identical field set as an ordinary
+  ``__dict__``-backed class, i.e. the shape the hot path would have
+  without the slots.
+
+Wall time is informational (machine-dependent, never gated); the ratios
+``timer_process / timer_fastpath`` and ``frame_alloc_dict /
+frame_alloc_slots`` are the point of the document — each isolates what
+one hot-path rewrite bought, independent of protocol behaviour.
 """
 
 from __future__ import annotations
@@ -96,11 +106,79 @@ def _run_timeout_chain(ops: int) -> int:
     return proc.value
 
 
-#: case name -> runner(ops) -> fired count (sanity-checked); pinned order
+import itertools
+from dataclasses import dataclass, field
+
+_dict_frame_ids = itertools.count(1)
+
+
+@dataclass
+class _DictFrame:
+    """``Frame`` re-declared *without* ``slots=True`` — same dataclass
+    machinery (generated ``__init__``, ``default_factory`` id,
+    ``__post_init__`` check), so the A/B delta isolates the slots."""
+
+    src: Any
+    dst: Any
+    ethertype: int
+    payload_bytes: int
+    payload: Any = None
+    frame_id: int = field(default_factory=lambda: next(_dict_frame_ids))
+    corrupted: bool = False
+    train_frames: int = 1
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("negative payload")
+
+
+def _alloc_churn(ops: int, make: Callable[..., Any]) -> int:
+    """Shared driver: allocate, touch the fields every hop reads, retain.
+
+    Mirrors a frame's life under a bulk transfer — built once, its
+    ``payload_bytes``/``train_frames``/``dst`` read at each pipeline
+    hop, and kept alive in a sender-window-sized deque (retransmit
+    state pins a window of frames at any instant, so allocation cost
+    includes the GC pressure of the live set, not just the free-list
+    hit).
+    """
+    from ..hw.nic.frames import EtherType, MacAddress
+
+    src, dst = MacAddress(1), MacAddress(2)
+    window: List[Any] = []
+    touched = 0
+    for _ in range(ops):
+        frame = make(src=src, dst=dst, ethertype=EtherType.CLIC,
+                     payload_bytes=1500)
+        window.append(frame)
+        if len(window) > 64:  # the paper testbed's window_frames
+            window.pop(0)
+        for _hop in range(4):  # NIC tx, wire, switch, NIC rx
+            touched += frame.train_frames + (frame.payload_bytes // 1500)
+            if frame.corrupted or frame.dst is not dst:
+                touched += 1
+    return 1 if touched == 8 * ops else 0
+
+
+def _run_frame_alloc_slots(ops: int) -> int:
+    """Allocation churn on the shipped slotted ``Frame``."""
+    from ..hw.nic.frames import Frame
+
+    return _alloc_churn(ops, Frame)
+
+
+def _run_frame_alloc_dict(ops: int) -> int:
+    """Allocation churn on the ``__dict__``-backed equivalent."""
+    return _alloc_churn(ops, _DictFrame)
+
+
+#: case name -> runner(ops) -> sanity flag (must be 1); pinned order
 MICRO_CASES: List[Tuple[str, Callable[[int], int]]] = [
     ("timer_process", _run_timer_process),
     ("timer_fastpath", _run_timer_fastpath),
     ("timeout_chain", _run_timeout_chain),
+    ("frame_alloc_slots", _run_frame_alloc_slots),
+    ("frame_alloc_dict", _run_frame_alloc_dict),
 ]
 
 
@@ -115,8 +193,8 @@ def _best_of(runner: Callable[[int], int], ops: int, repeat: int) -> float:
         best = min(best, time.perf_counter() - t0)
         if fired != 1:
             raise AssertionError(
-                f"{runner.__name__}: expected exactly one surviving timer, "
-                f"got {fired} — the churn semantics drifted")
+                f"{runner.__name__}: expected sanity flag 1, got {fired} "
+                f"— the churn semantics drifted")
     return best
 
 
@@ -143,5 +221,26 @@ def run_micro(ops: int = 50_000, repeat: int = 3,
         "fastpath_vs_process": round(
             doc["cases"]["timer_process"]["wall_s"]
             / doc["cases"]["timer_fastpath"]["wall_s"], 3),
+        "slots_vs_dict": round(
+            doc["cases"]["frame_alloc_dict"]["wall_s"]
+            / doc["cases"]["frame_alloc_slots"]["wall_s"], 3),
     }
+    doc["memory"] = _frame_footprint()
     return doc
+
+
+def _frame_footprint() -> Dict[str, int]:
+    """Per-instance memory of the slotted Frame vs its dict twin.
+
+    Deterministic (unlike the wall clocks) and usually the larger half
+    of the slots win: a window of in-flight frames pins twice the bytes
+    without slots.
+    """
+    from ..hw.nic.frames import EtherType, Frame, MacAddress
+
+    kw = dict(src=MacAddress(1), dst=MacAddress(2),
+              ethertype=EtherType.CLIC, payload_bytes=1500)
+    slotted = sys.getsizeof(Frame(**kw))
+    plain = _DictFrame(**kw)
+    backed = sys.getsizeof(plain) + sys.getsizeof(plain.__dict__)
+    return {"frame_bytes_slots": slotted, "frame_bytes_dict": backed}

@@ -30,7 +30,7 @@ from ...hw.cpu import PRIO_KERNEL, PRIO_SOFTIRQ
 from ...hw.nic import BROADCAST, EtherType, MacAddress
 from ...oskernel import SkBuff
 from ...sim import Counters, Environment, Event, Store
-from ..headers import ClicAck, ClicPacket, ClicPacketType, fragment_plan
+from ..headers import ClicAck, ClicPacket, ClicPacketType, ClicTrain, fragment_plan
 from ..reliability import OrderedReceiver, RtoEstimator, WindowedSender
 
 __all__ = ["ClicModule", "ClicMessage", "RemoteRegion"]
@@ -203,6 +203,13 @@ class ClicModule:
             self._receivers[src_node] = receiver
         return receiver
 
+    def reorder_stash_depth(self, src_node: int) -> int:
+        """Out-of-order stash occupancy for the channel from ``src_node``
+        (0 when the channel does not exist yet) — flow-mode eligibility
+        consults this through :attr:`FlowRoute.stash_depth`."""
+        receiver = self._receivers.get(src_node)
+        return receiver.stash_depth if receiver is not None else 0
+
     # -- peer aliveness -------------------------------------------------------
     def peer_is_dead(self, peer: int) -> bool:
         """True once ``peer`` has been declared unreachable."""
@@ -261,8 +268,53 @@ class ClicModule:
         if remote_write:
             ptype = ClicPacketType.REMOTE_WRITE
         frag_max = self.max_fragment()
-        for offset, frag in fragment_plan(nbytes, frag_max):
+        plan = list(fragment_plan(nbytes, frag_max))
+        # Hybrid fast path (flow mode): with the controller installed,
+        # module-level preconditions met, and the controller's
+        # eligibility oracle agreeing, a run of full-size fragments
+        # advances as one analytic train instead of per-fragment.
+        flow = self.env.flow
+        trainable = (
+            flow is not None
+            and journeys is None
+            and len(self.node.drivers) == 1
+            and ptype in (ClicPacketType.DATA, ClicPacketType.MPI,
+                          ClicPacketType.REMOTE_WRITE)
+        )
+        index = 0
+        while index < len(plan):
+            offset, frag = plan[index]
             yield from sender.reserve()
+            k = 0
+            if trainable and frag == frag_max and not self._backlog.items:
+                # The tail fragment (the last entry, full-size or not)
+                # never rides a train — batched delivery stays strictly
+                # mid-stream, so message completion is always exact.
+                remaining_full = len(plan) - 1 - index
+                k = flow.plan_train(self.node_id, dst_node, sender,
+                                    remaining_full, self.env.now)
+            if k >= 2:
+                packets = []
+                for train_offset, train_frag in plan[index:index + k]:
+                    packets.append(ClicPacket(
+                        ptype=ptype,
+                        src_node=self.node_id,
+                        dst_node=dst_node,
+                        port=port,
+                        msg_id=msg_id,
+                        seq=0,  # assigned at register
+                        frag_offset=train_offset,
+                        frag_bytes=train_frag,
+                        msg_bytes=nbytes,
+                        tag=tag,
+                        payload=payload,
+                    ))
+                for pkt, seq in zip(packets, sender.register_train(packets)):
+                    pkt.seq = seq
+                train = ClicTrain(packets=tuple(packets), frag_bytes=frag_max)
+                yield from self._tx_train(train, dst_node)
+                index += k
+                continue
             pkt = ClicPacket(
                 ptype=ptype,
                 src_node=self.node_id,
@@ -280,6 +332,7 @@ class ClicModule:
             if journeys is not None:
                 journeys.fragment(pkt, self.scope)
             yield from self._tx_packet(pkt)
+            index += 1
         self.counters.add("msgs_sent")
         self.counters.add("bytes_sent", nbytes)
         span.end()
@@ -364,6 +417,45 @@ class ClicModule:
         self._backlog.put((skb, mac))
         span.end(accepted=False)
 
+    def _tx_train(self, train: ClicTrain, dst_node: int) -> Generator:
+        """Batched transmit of a flow-mode train (see :mod:`repro.sim.flowmode`).
+
+        Closed-form over the batch: ``k`` module-entry costs in one CPU
+        slice, one SK_BUFF spanning the ``k`` fragments (``k`` staging
+        copy setups when not zero-copy), one driver call posting a
+        ``k``-wide descriptor.  Every modeled cost equals the sum of the
+        ``k`` per-packet passes it replaces.
+        """
+        cpu = self.kernel.cpu
+        k = len(train.packets)
+        total_user = train.frag_bytes * k
+        span = self.tracer.begin(self.scope, "clic_tx_train",
+                                 frames=k, nbytes=total_user)
+        yield from cpu.execute(self.params.module_tx_ns * k, PRIO_KERNEL,
+                               label="clic_tx")
+        zero_copy = self.params.zero_copy and self.node.nic_supports_sg()
+        driver, mac = self.node.drivers[0], self.node.mac_of(dst_node, 0)
+        if zero_copy:
+            skb = SkBuff.for_user_payload(total_user, payload=train)
+        else:
+            yield from self.kernel.copy_user_to_system(total_user, setups=k)
+            skb = SkBuff.for_system_payload(total_user, payload=train)
+        skb.push_header("clic", self.params.header_bytes * k)
+        accepted = yield from driver.transmit(skb, mac, EtherType.CLIC)
+        if accepted:
+            self.counters.add("pkts_tx", k)
+            span.end(accepted=True, frames=k)
+            return
+        # NIC busy mid-train: stage the whole batch (one copy, k setups)
+        # and let the pump retry — the train stays intact in the backlog.
+        if skb.is_zero_copy:
+            yield from self.kernel.copy_user_to_system(total_user, setups=k)
+            skb.relocate("system")
+            self.counters.add("staged_copies", k)
+        self.counters.add("pkts_staged", k)
+        self._backlog.put((skb, mac))
+        span.end(accepted=False, frames=k)
+
     def _route(self, pkt: ClicPacket, dst_mac: Optional[MacAddress]):
         """Pick (driver, dst MAC) — round-robin across bonded channels."""
         drivers = self.node.drivers
@@ -401,6 +493,34 @@ class ClicModule:
 
         def _do() -> Generator:
             cpu = self.kernel.cpu
+            flow = self.env.flow
+            route = (flow.express_ack_route(self.node_id, dst_node, self.env.now)
+                     if flow is not None and len(self.node.drivers) == 1
+                     and self.tracer.journeys is None else None)
+            if route is not None:
+                # Flow-mode express lane: the whole reverse path is
+                # provably quiet, so charge the same local CPU work in
+                # one slice and advance the ack with one closed-form
+                # timer.  Conservation counters along the path are
+                # bumped by the route's delivery hook; cumulative-ack
+                # semantics tolerate any reordering against exact-path
+                # acks.
+                driver = self.node.drivers[0]
+                yield from cpu.execute(
+                    self.params.module_tx_ns / 2 + driver.params.tx_call_ns,
+                    PRIO_SOFTIRQ, label="clic_ack_tx",
+                )
+                ack_bytes = ClicAck.WIRE_BYTES + self.params.header_bytes
+                nic = self.node.nics[0]
+                nic.counters.add("tx_frames")
+                nic.counters.add("tx_bytes", ack_bytes)
+                driver.counters.add("tx_accepted")
+                self.counters.add("acks_tx")
+                deliver = route.deliver_ack
+                cum = cumulative_seq
+                self.env.call_later(route.ack_latency_ns,
+                                    lambda: deliver(cum))
+                return
             yield from cpu.execute(self.params.module_tx_ns / 2, PRIO_SOFTIRQ, label="clic_ack_tx")
             ack = ClicAck(src_node=self.node_id, dst_node=dst_node, cumulative_seq=cumulative_seq)
             skb = SkBuff.for_system_payload(ClicAck.WIRE_BYTES, payload=ack)
@@ -413,14 +533,45 @@ class ClicModule:
 
         self.env.process(_do(), name=f"{self.node.name}.clic.ack")
 
+    def receive_ack_express(self, src_node: int, cumulative_seq: int) -> None:
+        """Terminal hook of the flow-mode ack express lane.
+
+        Invoked by :attr:`FlowRoute.deliver_ack` once the closed-form
+        flight time has elapsed; applies the ack with the exact same
+        sender-side semantics as the packet path.
+        """
+        self.counters.add("acks_rx")
+        self._sender(src_node).on_ack(cumulative_seq)
+
     # ------------------------------------------------------------------
     # receive path (bottom-half or direct-IRQ context)
     # ------------------------------------------------------------------
     def _rx_entry(self, skb: SkBuff) -> Generator:
         cpu = self.kernel.cpu
         span = self.tracer.begin(self.scope, "clic_rx", direct=skb.direct_delivery)
-        yield from cpu.execute(self.params.module_rx_ns, PRIO_SOFTIRQ, label="clic_rx")
         item = skb.payload
+        if isinstance(item, ClicTrain):
+            # Flow-mode train: k module entries charged in one CPU
+            # slice, then per-packet receiver semantics as pure calls
+            # (sequencing, duplicate suppression and ack cadence are
+            # identical to k separate arrivals).
+            k = len(item.packets)
+            yield from cpu.execute(self.params.module_rx_ns * k, PRIO_SOFTIRQ,
+                                   label="clic_rx")
+            for pkt in item.packets:
+                pkt._direct_delivery = skb.direct_delivery
+            self._receiver(item.packets[0].src_node).on_train(
+                (pkt.seq, pkt) for pkt in item.packets
+            )
+            if self._rx_ready:
+                # Drain in place: the receiver holds a bound ``append`` of
+                # this exact list object, so rebinding would orphan it.
+                fragments = self._rx_ready[:]
+                self._rx_ready.clear()
+                yield from self._consume_released(fragments)
+            span.end(kind="train", frames=k)
+            return
+        yield from cpu.execute(self.params.module_rx_ns, PRIO_SOFTIRQ, label="clic_rx")
         if isinstance(item, ClicAck):
             self._sender(item.src_node).on_ack(item.cumulative_seq)
             self.counters.add("acks_rx")
@@ -449,6 +600,62 @@ class ClicModule:
             fragment = self._rx_ready.pop(0)
             yield from self._consume_fragment(fragment)
         span.end(pkt=pkt.packet_id)
+
+    def _consume_released(self, fragments: List[ClicPacket]) -> Generator:
+        """Consume fragments a train's arrival released, batching copies.
+
+        When the whole run is one message *strictly mid-stream* (the
+        common steady-state case: trains never carry a message's tail),
+        the per-fragment staging copies collapse into one CPU slice
+        charging ``k`` copy setups.  Anything else — mixed messages, a
+        run that completes a message via previously stashed successors —
+        falls back to exact per-fragment consumption.
+        """
+        first = fragments[0]
+        key = (first.src_node, first.msg_id)
+        total = sum(pkt.frag_bytes for pkt in fragments)
+        partial = self._partials.get(key)
+        received = partial.received if partial is not None else 0
+        homogeneous = all(
+            (pkt.src_node, pkt.msg_id) == key
+            and pkt.ptype not in (ClicPacketType.KERNEL_FN, ClicPacketType.BCAST)
+            for pkt in fragments
+        )
+        if not homogeneous or received + total >= first.msg_bytes:
+            for pkt in fragments:
+                yield from self._consume_fragment(pkt)
+            return
+        k = len(fragments)
+        self.counters.add("pkts_rx", k)
+        if partial is None:
+            partial = _Partial(
+                src_node=first.src_node,
+                port=first.port,
+                tag=first.tag,
+                msg_id=first.msg_id,
+                msg_bytes=first.msg_bytes,
+                remote_write=first.ptype is ClicPacketType.REMOTE_WRITE,
+                payload=first.payload,
+            )
+            self._partials[key] = partial
+            if not partial.remote_write:
+                self._bind_waiter(partial)
+        direct = getattr(first, "_direct_delivery", False)
+        if partial.remote_write:
+            if not direct:
+                yield from self.kernel.copy_system_to_user(
+                    total, PRIO_SOFTIRQ, setups=k
+                )
+            region = self.port(first.port).region
+            if region is not None:
+                region.bytes_written += total
+        elif partial.bound_waiter is not None and direct:
+            self.counters.add("direct_user_deliveries", k)
+        elif partial.bound_waiter is not None:
+            yield from self.kernel.copy_system_to_user(
+                total, PRIO_SOFTIRQ, setups=k
+            )
+        partial.received += total
 
     def _consume_fragment(self, pkt: ClicPacket) -> Generator:
         self.counters.add("pkts_rx")

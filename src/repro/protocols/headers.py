@@ -25,6 +25,7 @@ from typing import Any, Iterator, Optional, Tuple
 __all__ = [
     "ClicPacketType",
     "ClicPacket",
+    "ClicTrain",
     "ClicAck",
     "TcpSegment",
     "GammaPacket",
@@ -90,6 +91,28 @@ class ClicPacket:
     @property
     def is_last_fragment(self) -> bool:
         return self.frag_offset + self.frag_bytes >= self.msg_bytes
+
+
+@dataclass
+class ClicTrain:
+    """A batch of consecutive, equal-size CLIC fragments (flow mode).
+
+    Carries no modeled bytes of its own: a train is ``len(packets)``
+    ordinary frames that happen to advance through the pipeline as one
+    analytically batched unit (see :mod:`repro.sim.flowmode`).  Every
+    packet is a full ``frag_bytes`` fragment of the same message — the
+    short tail fragment always travels alone — so per-frame wire math
+    divides evenly.  Any hop that cannot keep batching (ring shortfall,
+    mid-flight blackout) splits the train back into per-packet frames
+    and continues exact simulation from there.
+    """
+
+    packets: Tuple[ClicPacket, ...]
+    #: user-payload bytes of each fragment (identical across the train)
+    frag_bytes: int
+
+    def __len__(self) -> int:
+        return len(self.packets)
 
 
 @dataclass

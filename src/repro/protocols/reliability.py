@@ -310,6 +310,22 @@ class WindowedSender:
             self._start_timer()
         return seq
 
+    def register_train(self, packets: Iterable[Any]) -> List[int]:
+        """Register a flow-mode train: one sequence per packet, in order.
+
+        Pure function calls — semantically identical to ``register``
+        per packet (probe events, timer arming and counters included),
+        so a batched send stays observable and auditable packet by
+        packet through the :class:`ChannelProbe` seam.
+        """
+        return [self.register(packet) for packet in packets]
+
+    @property
+    def retransmitting(self) -> bool:
+        """True while any in-flight packet's RTT is retransmission-
+        ambiguous (Karn) — i.e. a recovery episode is in progress."""
+        return bool(self._retx_seqs)
+
     def drain(self) -> Generator:
         """Block until everything sent so far is acknowledged."""
         self._check_failed()
@@ -531,6 +547,24 @@ class OrderedReceiver:
         self._ack_timer: Optional[TimerHandle] = None
         #: highest stash occupancy ever reached (bounded-memory audit)
         self.max_stash = 0
+
+    @property
+    def stash_depth(self) -> int:
+        """Current out-of-order stash occupancy (flow-mode eligibility
+        reads this: a non-empty stash means reordering is being
+        repaired, which forces exact per-packet simulation)."""
+        return len(self._stash)
+
+    def on_train(self, packets: Iterable[Tuple[int, Any]]) -> None:
+        """Consume a flow-mode train of ``(seq, packet)`` pairs.
+
+        A plain loop over :meth:`on_packet` — pure function calls, no
+        events — so delivery order, duplicate suppression, ack cadence
+        (including ``ack_every`` boundaries crossing mid-train) and
+        probe traffic are exactly what per-packet arrival produces.
+        """
+        for seq, packet in packets:
+            self.on_packet(seq, packet)
 
     def _already_delivered(self, seq: int) -> bool:
         """True when ``seq`` was already handed to the application.

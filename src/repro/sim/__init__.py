@@ -21,6 +21,7 @@ from .core import (
     TimerHandle,
     profiled,
 )
+from .flowmode import FlowModeController, FlowRoute
 from .monitor import BusyTracker, Counters, IntervalStats, Trace, TraceRecord
 from .resources import (
     Preempted,
@@ -40,6 +41,8 @@ __all__ = [
     "Counters",
     "Environment",
     "Event",
+    "FlowModeController",
+    "FlowRoute",
     "Interrupt",
     "IntervalStats",
     "Preempted",

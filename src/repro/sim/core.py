@@ -462,6 +462,12 @@ class Environment:
         self._active_proc: Optional[Process] = None
         #: optional :class:`~repro.obs.profile.EnvProfiler`
         self.profiler = None
+        #: optional :class:`~repro.sim.flowmode.FlowModeController` — the
+        #: hybrid flow/packet engine's eligibility oracle.  ``None`` (the
+        #: default) means every frame is simulated discretely at every
+        #: hop; the cluster builder installs a controller when
+        #: ``SimParams.flow_mode == "auto"``.
+        self.flow = None
         if profile or _PROFILE_SINK is not None:
             self.enable_profiling()
         if _PROFILE_SINK is not None:

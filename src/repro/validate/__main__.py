@@ -31,7 +31,15 @@ def _run_violations(scenario: Scenario) -> List[Violation]:
 
 
 def _fuzz(args: argparse.Namespace) -> int:
-    specs = [generate_scenario(args.seed, i).to_dict() for i in range(args.budget)]
+    scenarios = [generate_scenario(args.seed, i) for i in range(args.budget)]
+    if args.flow_mode != "scenario":
+        # Force the engine on every case (the CI flow-mode campaign re-
+        # runs the whole catalog under "auto"); the default keeps the
+        # per-scenario drawn axis.
+        from dataclasses import replace
+
+        scenarios = [replace(s, flow_mode=args.flow_mode) for s in scenarios]
+    specs = [s.to_dict() for s in scenarios]
     reports = run_tasks(run_scenario, specs, jobs=args.jobs)
     failures = [(i, r) for i, r in enumerate(reports) if r["violations"]]
     frames = sum(r["stats"]["frames_offered"] for r in reports)
@@ -107,6 +115,10 @@ def main(argv=None) -> int:
                       help="worker processes (0 = all cores)")
     fuzz.add_argument("--out", default=".",
                       help="directory for REPLAY_*.json artifacts")
+    fuzz.add_argument("--flow-mode", choices=("scenario", "off", "auto"),
+                      default="scenario",
+                      help="override the drawn flow_mode axis on every "
+                           "scenario (default: keep the per-scenario draw)")
     fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
                       help="write failing scenarios unshrunk")
     fuzz.set_defaults(func=_fuzz)

@@ -19,7 +19,7 @@ from dataclasses import replace
 from typing import Any, Dict, Generator, List, Tuple
 
 from ..cluster import Cluster
-from ..config import ClusterConfig, NodeConfig
+from ..config import ClusterConfig, NodeConfig, SimParams
 from ..oskernel import UserProcess
 from ..protocols.clic import ClicEndpoint
 from ..protocols.reliability import DeliveryFailed, install_channel_probe
@@ -225,6 +225,7 @@ def execute(scenario: Scenario) -> Dict[str, Any]:
         num_nodes=scenario.num_nodes,
         seed=scenario.seed,
         switch_backpressure=scenario.backpressure,
+        sim=SimParams(flow_mode=scenario.flow_mode),
     )
     recorder = ProbeRecorder()
     previous = install_channel_probe(recorder)

@@ -74,6 +74,10 @@ class Scenario:
     #: switch egress-exhaustion policy ("drop" | "pause")
     backpressure: str = "drop"
     messages: Tuple[Message, ...] = ()
+    #: simulator engine: "off" (packet-exact) | "auto" (hybrid flow
+    #: fast path) — a fuzz axis so every fault family also exercises
+    #: the flow engine's mid-flow fallback to exact simulation
+    flow_mode: str = "off"
 
     # -- derived ---------------------------------------------------------
     @property
@@ -252,4 +256,7 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
         fault_args=fault_args,
         backpressure=str(rng.choice(["drop", "drop", "pause"])),
         messages=_traffic(rng, num_nodes, protocol),
+        # Drawn last so every scenario of a given (seed, index) keeps
+        # its pre-flow-mode identity on all other axes.
+        flow_mode=str(rng.choice(["off", "auto"])),
     )

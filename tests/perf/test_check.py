@@ -100,6 +100,27 @@ def test_slo_from_bench_declares_gate_boundaries():
     assert SLOSpec.from_json(spec.to_json()) == spec
 
 
+def test_slo_from_bench_headlines_event_reduction():
+    """Scenarios with a flow-vs-packet ratio in the totals get the
+    speedup headline in their spec description (candidate wins over
+    baseline), and the scorecard table surfaces it."""
+    from repro.obs.slo import scorecard_table
+
+    baseline = _doc(lat=(100.0, "lower", 0.05))
+    baseline["totals"]["event_reduction_by_scenario"] = {"s": 12.0}
+    specs = slo_from_bench(baseline)
+    assert "12.0x fewer events" in specs["s"].description
+    candidate = _doc(lat=(101.0, "lower", 0.05))
+    candidate["totals"]["event_reduction_by_scenario"] = {"s": 14.1}
+    assert "14.1x fewer events" in slo_from_bench(baseline,
+                                                  candidate)["s"].description
+    cards = scenario_scorecards(candidate, baseline)
+    assert "14.1x fewer events" in scorecard_table(cards["s"])
+    # Scenarios without a ratio keep the plain description.
+    plain = slo_from_bench(_doc(lat=(100.0, "lower", 0.05)))
+    assert "fewer events" not in plain["s"].description
+
+
 def test_scenario_scorecards_match_check_verdicts():
     baseline = _doc(lat=(100.0, "lower", 0.05))
     bad = _doc(lat=(150.0, "lower", 0.05))

@@ -19,10 +19,30 @@ def test_micro_document_structure(micro_doc):
     assert doc["schema"] == MICRO_SCHEMA
     assert doc["rev"] == "test"
     assert doc["ops"] == 10_000 and doc["repeat"] == 2
-    assert set(doc["cases"]) == {"timer_process", "timer_fastpath", "timeout_chain"}
+    assert set(doc["cases"]) == {"timer_process", "timer_fastpath",
+                                 "timeout_chain", "frame_alloc_slots",
+                                 "frame_alloc_dict"}
     for case in doc["cases"].values():
         assert case["wall_s"] > 0
         assert case["ns_per_op"] > 0
+
+
+def test_slots_memory_footprint(micro_doc):
+    """The deterministic half of the ``__slots__`` win: a slotted Frame
+    must be strictly smaller than its ``__dict__``-backed twin (the wall
+    clock race is perf-marked; the footprint never flakes)."""
+    mem = micro_doc["memory"]
+    assert mem["frame_bytes_slots"] < mem["frame_bytes_dict"]
+    assert "slots_vs_dict" in micro_doc["speedup"]
+
+
+@pytest.mark.perf
+def test_slots_alloc_churn_wins(micro_doc):
+    """Allocating/touching/retaining slotted Frames must not lose to the
+    identical dataclass without slots.  The observed margin is ~5-8%
+    wall (plus 2x memory, asserted unconditionally above); the floor
+    here only guards against slots somehow *costing* time."""
+    assert micro_doc["speedup"]["slots_vs_dict"] > 0.95
 
 
 @pytest.mark.perf

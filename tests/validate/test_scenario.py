@@ -95,3 +95,32 @@ def test_permanent_fault_detection():
     assert not transient.permanent_fault
     lossy = Scenario(seed=1, fault_kind="uniform", fault_rate=0.5)
     assert not lossy.permanent_fault
+
+
+def test_flow_mode_axis_round_trips_and_is_drawn():
+    """The flow_mode axis: defaults off, JSON round-trips, and the
+    generator draws both engine modes across a campaign (drawn last so
+    every other axis of a (seed, index) keeps its identity)."""
+    assert Scenario(seed=1).flow_mode == "off"
+    auto = Scenario(seed=1, flow_mode="auto")
+    assert Scenario.from_dict(auto.to_dict()) == auto
+
+    from repro.validate.scenario import generate_scenario
+
+    modes = {generate_scenario(7, i).flow_mode for i in range(16)}
+    assert modes == {"off", "auto"}
+
+
+def test_runner_plumbs_flow_mode_into_the_cluster():
+    """A flow-mode scenario builds its cluster with the hybrid engine
+    armed — and still passes the whole invariant catalog."""
+    from repro.validate.runner import run_scenario
+    from repro.validate.scenario import Message
+
+    scenario = Scenario(
+        seed=99, protocol="clic", mtu=1500, flow_mode="auto",
+        messages=(Message(0, 1, 40_000, 0), Message(0, 1, 40_000, 1)),
+    )
+    report = run_scenario(scenario.to_dict())
+    assert report["violations"] == []
+    assert report["scenario"]["flow_mode"] == "auto"
