@@ -1,8 +1,13 @@
-"""Cluster assembly: N nodes behind one store-and-forward switch.
+"""Cluster assembly: N nodes behind a store-and-forward switch fabric.
 
 This is the experiment entry point: build a :class:`Cluster` from a
 :class:`~repro.config.ClusterConfig`, spawn processes on its nodes, and
 run the shared :class:`~repro.sim.Environment`.
+
+The default fabric is the paper's single switch; ``cfg.topology``
+selects a multi-switch layout (fat-tree, chain — see
+:mod:`repro.hw.fabric`), in which case every NIC attaches to its *leaf*
+switch and inter-switch trunks carry the cross-leaf traffic.
 
 Protocol engines are attached per the ``protocols`` argument; CLIC and
 TCP/IP coexist on stock (``irq-pull``) NICs, while the GAMMA and VIA
@@ -17,7 +22,7 @@ from typing import Generator, Iterable, List, Optional, Tuple
 
 from ..config import ClusterConfig
 from ..faults import ChannelFaults, FaultPlan
-from ..hw import Channel, Switch
+from ..hw import Channel, Fabric
 from ..obs import MetricsRegistry, Tracer
 from ..sim import Counters, Environment, RngStreams, Trace
 from .node import Node, mac_for
@@ -101,13 +106,19 @@ class Cluster:
         self.tracer = Tracer(self.env, self.trace)
         #: cluster-wide typed metrics namespace (counters/gauges/histograms)
         self.metrics = MetricsRegistry()
-        self.switch = Switch(
+        #: the switch fabric (one switch unless ``cfg.topology`` says more)
+        self.fabric = Fabric(
             self.env,
             self.cfg.link,
+            getattr(self.cfg, "topology", None),
+            self.cfg.num_nodes,
             tracer=self.tracer,
             metrics=self.metrics,
             backpressure=getattr(self.cfg, "switch_backpressure", "drop"),
         )
+        #: the first switch — the whole fabric in the single-switch case
+        #: (legacy accessor kept for experiments and the validate harness)
+        self.switch = self.fabric.switch
         self.nodes: List[Node] = []
         #: every simplex wire in build order, as ``(name, Channel)`` with
         #: names ``"{node_id}.{ch}.up"`` (node -> switch) and ``...down``
@@ -149,8 +160,8 @@ class Cluster:
                     faults=self._channel_faults(node_id, ch, "down"),
                     tracer=self.tracer,
                 )
-                port = self.switch.attach(from_switch, mac_for(node_id, ch))
-                to_switch.connect(self.switch.ingress(port))
+                port = self.fabric.attach(node_id, from_switch, mac_for(node_id, ch))
+                to_switch.connect(port.switch.ingress(port))
                 from_switch.connect(nic.receive_frame)
                 nic.attach_tx(to_switch)
                 self.channels.append((f"{node_id}.{ch}.up", to_switch))
@@ -159,6 +170,12 @@ class Cluster:
                 self._chan_map[(node_id, ch, "down")] = from_switch
                 self._port_map[(node_id, ch)] = port
                 self._install_blackouts(port, node_id, ch)
+
+        # Trunks + static routes once every NIC is on its leaf; trunk
+        # channels join the link list so the per-hop conservation
+        # invariant walks them like any other wire.
+        self.fabric.finalize()
+        self.channels.extend(self.fabric.trunks)
 
         self._attach_protocols()
 
@@ -208,7 +225,7 @@ class Cluster:
         windows = self.faults.blackouts_for(node_id, ch)
         if not windows:
             return
-        self.switch.set_blackouts(port, windows)
+        port.switch.set_blackouts(port, windows)
         for window in windows:
             self.env.process(
                 self._blackout_span(window, f"port{port.index}"),
@@ -262,6 +279,12 @@ class Cluster:
         live view of the destination's reorder stash, so the
         controller's eligibility checks read the same state the exact
         simulation would.
+
+        Flow routes are derived for the single-switch fabric only: a
+        multi-switch path has per-trunk queueing the closed-form route
+        model does not capture, so the controller is installed with
+        ``topology_known=False`` and every train falls back to the
+        exact per-packet engine (counted as ``fallback_unknown_topology``).
         """
         from ..hw.nic.frames import payload_time_ns
         from ..protocols.headers import ClicAck
@@ -272,7 +295,12 @@ class Cluster:
             min_train=sim.flow_min_train,
             max_train=sim.flow_max_train,
             horizon_ns=sim.flow_horizon_ns,
+            topology_known=not self.fabric.multi_switch,
         )
+        if self.fabric.multi_switch:
+            self.env.flow = controller
+            self.flow = controller
+            return
         for src in self.nodes:
             if len(src.nics) != 1:
                 continue

@@ -54,6 +54,7 @@ __all__ = [
     "PvmParams",
     "NodeConfig",
     "SimParams",
+    "Topology",
     "ClusterConfig",
     "granada2003",
     "MTU_STANDARD",
@@ -144,6 +145,13 @@ class NicParams:
     coalesce_timeout_ns: float = 10_000.0
     #: set False to interrupt on every frame (ABL-COAL)
     coalescing_enabled: bool = True
+    #: NIC-resident collective engine: firmware cost to combine/forward
+    #: one collective frame on-card (Quadrics/Myrinet-style processors
+    #: ran the whole barrier hop in a microsecond or two)
+    collective_op_ns: float = 900.0
+    #: host cost to post a collective to the NIC through a user-mapped
+    #: doorbell page (no syscall — the point of the NIC engine)
+    collective_doorbell_ns: float = 800.0
 
     def effective_mtu(self) -> int:
         """The MTU actually usable (jumbo requires NIC support)."""
@@ -395,6 +403,38 @@ class SimParams:
 
 
 @dataclass(frozen=True)
+class Topology:
+    """Fabric topology spec (pure data — built by :mod:`repro.hw.fabric`).
+
+    * ``"star"`` — every node on one switch (the legacy layout; a
+      ``topology=None`` cluster builds the identical fabric).
+    * ``"fat-tree"`` — a 2-level tree: ``ceil(N / leaf_fan)`` leaf
+      switches, each with ``uplink_fan`` trunk ports, one per spine
+      switch.  Cross-leaf traffic is spread over the spines by
+      destination node (``dst % uplink_fan``) so per-uplink contention
+      is deterministic and accountable.
+    * ``"chain"`` — leaf switches in a line with one trunk between
+      neighbours (the worst-case diameter layout).
+    """
+
+    kind: str = "star"
+    #: nodes per leaf switch (fat-tree and chain)
+    leaf_fan: int = 4
+    #: trunk ports per leaf == number of spine switches (fat-tree)
+    uplink_fan: int = 1
+
+    KINDS = ("star", "fat-tree", "chain")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown topology kind {self.kind!r}")
+        if self.leaf_fan < 1:
+            raise ValueError(f"leaf_fan must be >= 1, got {self.leaf_fan}")
+        if self.uplink_fan < 1:
+            raise ValueError(f"uplink_fan must be >= 1, got {self.uplink_fan}")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """A cluster: homogeneous nodes behind one switch."""
 
@@ -413,6 +453,8 @@ class ClusterConfig:
     switch_backpressure: str = "drop"
     #: simulator-engine knobs (flow/packet hybrid fast path)
     sim: SimParams = field(default_factory=SimParams)
+    #: fabric layout; ``None`` builds the legacy single-switch star
+    topology: Optional[Topology] = None
 
     def with_node(self, node: NodeConfig) -> "ClusterConfig":
         """Copy of this cluster config with the node config replaced."""
@@ -421,6 +463,10 @@ class ClusterConfig:
     def with_flow_mode(self, mode: str) -> "ClusterConfig":
         """Copy with the hybrid-engine mode replaced ("off" | "auto")."""
         return replace(self, sim=replace(self.sim, flow_mode=mode))
+
+    def with_topology(self, topology: Optional[Topology]) -> "ClusterConfig":
+        """Copy with the fabric topology replaced (None = single switch)."""
+        return replace(self, topology=topology)
 
 
 def pci_66mhz_64bit() -> PciParams:

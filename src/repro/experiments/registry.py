@@ -36,6 +36,7 @@ from . import (
     fig7,
     headline,
     interrupts,
+    nic_collectives,
     resilience,
 )
 
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablations": ablations.run,
     "breakdown": breakdown.run,
     "collectives": collectives_scaling.run,
+    "collectives-scaling": nic_collectives.run,
     "fe2001": fe_baseline.run,
     "resilience": resilience.run,
 }

@@ -1,6 +1,7 @@
 """Hardware substrate: CPU, memory, PCI, NIC, link, switch."""
 
 from .cpu import PRIO_IRQ, PRIO_KERNEL, PRIO_SOFTIRQ, PRIO_USER, Cpu
+from .fabric import Fabric
 from .link import Channel, Link
 from .memory import MemoryBus
 from .pci import PciBus
@@ -9,6 +10,7 @@ from .switch import Switch, SwitchPort
 __all__ = [
     "Channel",
     "Cpu",
+    "Fabric",
     "Link",
     "MemoryBus",
     "PciBus",

@@ -132,10 +132,21 @@ class Nic:
 
         # On-NIC reassembly state for fragmentation offload.
         self._reassembly: dict = {}
+        #: NIC-resident collective engine (lazily built; None until the
+        #: MPI layer opts in — the rx fast path stays a None check)
+        self._collective = None
 
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
+    def collective_engine(self):
+        """The on-card collective engine, built on first use."""
+        if self._collective is None:
+            from .collective import CollectiveEngine
+
+            self._collective = CollectiveEngine(self)
+        return self._collective
+
     def attach_tx(self, channel: "Channel") -> None:
         """Connect the NIC's transmit side to a link channel."""
         if self._tx_channel is not None:
@@ -163,6 +174,12 @@ class Nic:
             self.counters.add("rx_oversize_drops", k)
             if journeys is not None:
                 journeys.hop(frame.payload, "nic_drop", self.name, reason="oversize")
+            return
+        if self._collective is not None and self._collective.match(frame):
+            # Collective frames are combined/forwarded on-card: they
+            # never take a ring slot, never feed the coalescer, and
+            # never raise an IRQ — the host only sees the completion.
+            self._collective.on_frame(frame)
             return
         if k > 1 and self._rx_occ + self._rx_claimed + k > self.params.rx_ring_slots:
             # Mid-flight ring shortfall: the train cannot occupy k slots

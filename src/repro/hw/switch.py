@@ -58,7 +58,10 @@ class SwitchPort:
         self.blackouts: Tuple = ()
         #: highest queue occupancy ever observed (bounded-memory audit)
         self.max_depth = 0
-        switch.env.process(self._pump(), name=f"switch.port{index}.tx")
+        #: broadcast frames replicate out this port (fabric builders clear
+        #: this on redundant trunk ports to keep the flood tree loop-free)
+        self.flood = True
+        switch.env.process(self._pump(), name=f"{switch.name}.port{index}.tx")
 
     @property
     def occupancy(self) -> int:
@@ -154,6 +157,7 @@ class Switch:
         tracer=None,
         metrics=None,
         backpressure: str = "drop",
+        name: str = "switch",
     ):
         if backpressure not in BACKPRESSURE_MODES:
             raise ValueError(
@@ -161,17 +165,18 @@ class Switch:
                 f"(got {backpressure!r})"
             )
         self.env = env
+        self.name = name
         self.link_params = link_params
         self.forward_ns = forward_ns
         self.queue_frames = queue_frames
         self.backpressure = backpressure
         self.ports: List[SwitchPort] = []
         self._mac_table: Dict[MacAddress, SwitchPort] = {}
-        #: counters land in the shared cluster registry (``switch.*``)
+        #: counters land in the shared cluster registry (``<name>.*``)
         #: when a :class:`~repro.obs.MetricsRegistry` is given, so run
         #: artifacts can surface drop/pause accounting; private otherwise.
         self.counters = (
-            Counters(registry=metrics, prefix="switch.")
+            Counters(registry=metrics, prefix=f"{name}.")
             if metrics is not None else Counters()
         )
         #: optional :class:`repro.obs.Tracer`; only its ``journeys``
@@ -231,7 +236,7 @@ class Switch:
                 )
                 return
             self.env.process(
-                self._forward(frame, from_port), name="switch.forward"
+                self._forward(frame, from_port), name=f"{self.name}.forward"
             )
 
         return _receive
@@ -262,7 +267,7 @@ class Switch:
         self.counters.add("forwarded", k)
         if frame.is_broadcast:
             for port in self.ports:
-                if port is not from_port:
+                if port is not from_port and port.flood:
                     yield from self._enqueue(port, frame)
             return
         port = self._mac_table.get(frame.dst)

@@ -198,13 +198,23 @@ class RankContext:
     # Wire the collective algorithms in (defined in collectives.py to keep
     # this module focused on point-to-point).
     def barrier(self) -> Generator:
-        """MPI_Barrier (dissemination)."""
+        """MPI_Barrier (dissemination; NIC-resident in ``"nic"`` mode)."""
+        if getattr(self.world, "collectives", "host") == "nic":
+            from .collectives import nic_barrier
+
+            yield from nic_barrier(self)
+            return
         from .collectives import barrier
 
         yield from barrier(self)
 
     def bcast(self, nbytes: int, root: int = 0) -> Generator:
-        """MPI_Bcast (binomial tree)."""
+        """MPI_Bcast (binomial tree; NIC-resident in ``"nic"`` mode)."""
+        if getattr(self.world, "collectives", "host") == "nic":
+            from .collectives import nic_bcast
+
+            result = yield from nic_bcast(self, nbytes, root)
+            return result
         from .collectives import bcast
 
         result = yield from bcast(self, nbytes, root)
@@ -218,7 +228,13 @@ class RankContext:
         return result
 
     def allreduce(self, nbytes: int) -> Generator:
-        """MPI_Allreduce (recursive doubling)."""
+        """MPI_Allreduce (recursive doubling; NIC-resident in ``"nic"``
+        mode — combine up the binomial tree, result broadcast down)."""
+        if getattr(self.world, "collectives", "host") == "nic":
+            from .collectives import nic_allreduce
+
+            result = yield from nic_allreduce(self, nbytes)
+            return result
         from .collectives import allreduce
 
         result = yield from allreduce(self, nbytes)

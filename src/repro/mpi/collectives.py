@@ -31,6 +31,9 @@ __all__ = [
     "alltoall",
     "scan",
     "reduce_scatter",
+    "nic_barrier",
+    "nic_bcast",
+    "nic_allreduce",
 ]
 
 TAG_BARRIER = 0x7F01
@@ -232,3 +235,38 @@ def alltoall(ctx, nbytes: int) -> Generator:
         msg = yield from ctx.sendrecv(peer, nbytes, recv_from, nbytes, tag=TAG_ALLTOALL)
         total += msg.nbytes
     return total
+
+
+# ----------------------------------------------------------------------
+# NIC-resident variants (collectives="nic"): the whole combine/forward
+# tree runs in NIC firmware (repro.hw.nic.collective); the host posts a
+# user-level doorbell and sleeps on the DMA'd completion — no syscall,
+# no IRQ, no bottom half on the critical path.
+
+
+def nic_barrier(ctx) -> Generator:
+    """Barrier offloaded to the NIC collective engine."""
+    if ctx.size == 1:
+        return
+    engine = ctx.world.nic_engine(ctx.rank)
+    yield from engine.post(ctx.proc, "barrier")
+
+
+def nic_bcast(ctx, nbytes: int, root: int = 0) -> Generator:
+    """Broadcast offloaded to the NIC collective engine; returns the
+    delivered size (matching the host binomial bcast)."""
+    if ctx.size == 1:
+        return nbytes
+    engine = ctx.world.nic_engine(ctx.rank)
+    result = yield from engine.post(ctx.proc, "bcast", nbytes=nbytes, root=root)
+    return result
+
+
+def nic_allreduce(ctx, nbytes: int) -> Generator:
+    """Allreduce offloaded to the NIC collective engine; returns total
+    contributions (== P, matching the host recursive doubling)."""
+    if ctx.size == 1:
+        return 1
+    engine = ctx.world.nic_engine(ctx.rank)
+    result = yield from engine.post(ctx.proc, "allreduce", nbytes=nbytes)
+    return result

@@ -20,19 +20,32 @@ __all__ = ["World", "build_world", "mpirun"]
 
 
 class World:
-    """An MPI_COMM_WORLD over the simulated cluster."""
+    """An MPI_COMM_WORLD over the simulated cluster.
 
-    def __init__(self, cluster: Cluster, transport: str = "clic"):
+    ``collectives`` selects where barrier/bcast/allreduce run:
+    ``"host"`` is the classic 2003 software algorithms over the
+    transport; ``"nic"`` offloads them to the NIC-resident engine
+    (:mod:`repro.hw.nic.collective` — requires a fault-free fabric and
+    one NIC per node; the remaining collectives stay host-based).
+    """
+
+    def __init__(self, cluster: Cluster, transport: str = "clic",
+                 collectives: str = "host"):
         if transport not in ("clic", "tcp"):
             raise ValueError(f"unknown transport {transport!r}")
+        if collectives not in ("host", "nic"):
+            raise ValueError(f"unknown collectives mode {collectives!r}")
         self.cluster = cluster
         self.transport_kind = transport
+        self.collectives = collectives
         self.params: MpiParams = cluster.cfg.mpi
         self.size = len(cluster.nodes)
         self._rank_to_node: Dict[int, int] = {r: r for r in range(self.size)}
         self._node_to_rank: Dict[int, int] = {n: r for r, n in self._rank_to_node.items()}
         self.ranks: List[RankContext] = []
         self._build()
+        if collectives == "nic":
+            self._configure_nic_collectives()
 
     def _build(self) -> None:
         procs = [self.cluster.nodes[n].spawn(f"rank{r}") for r, n in self._rank_to_node.items()]
@@ -51,6 +64,34 @@ class World:
             for rank, proc in enumerate(procs):
                 self.ranks.append(RankContext(self, rank, proc, transports[rank]))
 
+    def _configure_nic_collectives(self) -> None:
+        """Bind every rank's NIC collective engine to this world."""
+        from ..cluster.node import mac_for
+
+        if self.cluster.faults is not None:
+            raise ValueError(
+                "NIC collectives need a fault-free fabric — collective "
+                "frames carry no reliability; use collectives='host'"
+            )
+        for node_id in self._rank_to_node.values():
+            if len(self.cluster.nodes[node_id].nics) != 1:
+                raise ValueError(
+                    "NIC collectives need exactly one NIC per node "
+                    "(bonded channels take the host algorithms)"
+                )
+
+        def _mac(rank: int) -> object:
+            return mac_for(self._rank_to_node[rank], 0)
+
+        for rank, node_id in self._rank_to_node.items():
+            engine = self.cluster.nodes[node_id].nics[0].collective_engine()
+            engine.configure(rank, self.size, _mac)
+
+    def nic_engine(self, rank: int):
+        """The collective engine serving ``rank`` (nic mode only)."""
+        node_id = self._rank_to_node[rank]
+        return self.cluster.nodes[node_id].nics[0].collective_engine()
+
     def node_to_rank(self, node_id: int) -> int:
         """Rank living on the given node id."""
         return self._node_to_rank[node_id]
@@ -62,15 +103,17 @@ class World:
         return [d.value for d in done]
 
 
-def build_world(cluster: Cluster, transport: str = "clic") -> World:
+def build_world(cluster: Cluster, transport: str = "clic",
+                collectives: str = "host") -> World:
     """Create an MPI world over ``cluster`` with the chosen transport."""
-    return World(cluster, transport=transport)
+    return World(cluster, transport=transport, collectives=collectives)
 
 
 def mpirun(
     cluster: Cluster,
     program: Callable[[RankContext], Generator],
     transport: str = "clic",
+    collectives: str = "host",
 ) -> List:
     """One-shot: build a world and run ``program`` on every rank."""
-    return build_world(cluster, transport).run(program)
+    return build_world(cluster, transport, collectives=collectives).run(program)

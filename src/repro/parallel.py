@@ -88,7 +88,10 @@ def _call(payload: Tuple[Callable[[Any], Any], Any, bool]) -> Tuple[Any, List[di
     with profiled() as profilers:
         result = worker(spec)
         _collect_task_garbage()
-    return result, [p.snapshot() for p in profilers]
+    # A task that fans out through a nested run_tasks has already frozen
+    # its slice of the sink to snapshot dicts — pass those through.
+    return result, [p.snapshot() if hasattr(p, "snapshot") else p
+                    for p in profilers]
 
 
 def _pool_map(

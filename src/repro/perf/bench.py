@@ -342,6 +342,56 @@ def _scenario_bulk_flowmode(quick: bool) -> Tuple[Dict, Dict]:
     return gates, metrics
 
 
+def _scenario_collectives(quick: bool) -> Tuple[Dict, Dict]:
+    """NIC-offload headline: host vs NIC collectives on a fat-tree.
+
+    Pins one point of the ``collectives-scaling`` experiment: barrier
+    and small-payload allreduce at a fixed P over a 2-level fat-tree,
+    in both ``collectives`` modes.  *Errors out* (like the fig7
+    cross-check) if the NIC engine fails to beat the host barrier, or
+    if a traced NIC barrier shows any syscall/IRQ/bottom-half on the
+    collective critical path — the property the offload exists for.
+    The gates then pin the absolute times and the speedup against the
+    committed baseline.
+    """
+    from ..experiments.nic_collectives import _traced_critical_path
+    from ..config import Topology, granada2003
+    from ..workloads.mpibench import collective_time
+
+    size = 16 if quick else 64
+    cfg = granada2003(num_nodes=size).with_topology(
+        Topology("fat-tree", leaf_fan=4, uplink_fan=2))
+    times = {
+        (op, mode): collective_time(
+            cfg, "clic", op, nbytes, repeats=2, collectives=mode)
+        for op, nbytes in (("barrier", 0), ("allreduce", 64))
+        for mode in ("host", "nic")
+    }
+    speedup = times[("barrier", "host")] / times[("barrier", "nic")]
+    if speedup <= 1.0:
+        raise ValueError(
+            f"NIC barrier lost to the host algorithms at P={size} "
+            f"({times[('barrier', 'nic')]/1000:.1f} vs "
+            f"{times[('barrier', 'host')]/1000:.1f} us)")
+    crossings = _traced_critical_path("nic")
+    if any(crossings.values()):
+        raise ValueError(
+            f"NIC collective critical path crossed the kernel: {crossings}")
+
+    gates = {
+        "host_barrier_us": _gate(times[("barrier", "host")] / 1000, "lower"),
+        "nic_barrier_us": _gate(times[("barrier", "nic")] / 1000, "lower"),
+        "nic_allreduce_us": _gate(times[("allreduce", "nic")] / 1000, "lower"),
+        "nic_barrier_speedup": _gate(speedup, "higher"),
+    }
+    metrics = {
+        "num_nodes": size,
+        "host_allreduce_us": times[("allreduce", "host")] / 1000,
+        "kernel_crossings": crossings,
+    }
+    return gates, metrics
+
+
 #: scenario name -> runner(quick) -> (gates, metrics); pinned order
 SCENARIOS: List[Tuple[str, Callable[[bool], Tuple[Dict, Dict]]]] = [
     ("headline", _scenario_headline),
@@ -351,6 +401,7 @@ SCENARIOS: List[Tuple[str, Callable[[bool], Tuple[Dict, Dict]]]] = [
     ("resilience", _scenario_resilience),
     ("journey", _scenario_journey),
     ("bulk-flowmode", _scenario_bulk_flowmode),
+    ("collectives-scaling", _scenario_collectives),
 ]
 
 

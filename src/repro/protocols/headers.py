@@ -27,6 +27,8 @@ __all__ = [
     "ClicPacket",
     "ClicTrain",
     "ClicAck",
+    "ClicCollective",
+    "COLLECTIVE_OPS",
     "TcpSegment",
     "GammaPacket",
     "ViaPacket",
@@ -125,6 +127,38 @@ class ClicAck:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     #: modeled bytes of ack info riding after the CLIC header
     WIRE_BYTES = 8
+
+
+#: collective operations the NIC engine understands
+COLLECTIVE_OPS = ("barrier", "bcast", "allreduce")
+
+
+@dataclass
+class ClicCollective:
+    """One hop of a NIC-resident collective (combined/forwarded on-card).
+
+    Quadrics/Myrinet-style: the NIC recognizes this header, runs the
+    combine/forward step in firmware, and never raises an IRQ or crosses
+    the syscall/BH boundary — only the final completion touches the host
+    (a DMA'd completion word).  ``phase`` is ``"up"`` while contributions
+    combine toward the root of the binomial tree and ``"down"`` for the
+    release/data broadcast; data ops fragment to the MTU, so ``nbytes``
+    is the op's total payload and ``frag_bytes`` this frame's share.
+    """
+
+    op: str               # one of COLLECTIVE_OPS
+    phase: str            # "up" (combine) | "down" (release/data)
+    coll_id: int          # per-engine post counter (same program order on
+                          # every rank, so ids agree cluster-wide)
+    root: int             # root *rank* of the binomial tree
+    src_rank: int
+    dst_rank: int
+    nbytes: int = 0       # total op payload (0 for barrier)
+    frag_bytes: int = 0   # this fragment's payload share
+    contributions: int = 1  # ranks folded into this (sub)tree so far
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: modeled bytes of collective header riding after the Ethernet header
+    WIRE_BYTES = 16
 
 
 @dataclass

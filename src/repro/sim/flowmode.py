@@ -135,11 +135,12 @@ class FlowModeController:
     congestion or blackout window may intersect ``[now, now+horizon)``).
     """
 
-    __slots__ = ("min_train", "max_train", "horizon_ns", "_routes",
-                 "_by_src_nic", "counters")
+    __slots__ = ("min_train", "max_train", "horizon_ns", "topology_known",
+                 "_routes", "_by_src_nic", "counters")
 
     def __init__(self, min_train: int = 4, max_train: int = 16,
-                 horizon_ns: float = 10_000_000.0):
+                 horizon_ns: float = 10_000_000.0,
+                 topology_known: bool = True):
         if min_train < 2:
             raise ValueError(f"min_train must be >= 2 (got {min_train!r})")
         if max_train < min_train:
@@ -149,6 +150,10 @@ class FlowModeController:
         self.min_train = min_train
         self.max_train = max_train
         self.horizon_ns = horizon_ns
+        #: False when the cluster's fabric has no closed-form route model
+        #: (multi-switch topologies): every train then falls back to the
+        #: exact engine, counted as ``fallback_unknown_topology``.
+        self.topology_known = topology_known
         self._routes: Dict[Tuple[int, int], FlowRoute] = {}
         self._by_src_nic: Dict[int, FlowRoute] = {}
         #: accounting: trains formed, frames batched, and per-reason
@@ -228,6 +233,8 @@ class FlowModeController:
         The checks, in cheap-to-expensive order; each names the
         boundary that forces packet-exact simulation:
 
+        * unknown topology — the fabric is multi-switch, so no
+          closed-form route model exists at all;
         * window edge — fewer than ``min_train`` fragments or window
           slots available;
         * recovery — the sender is failed, retransmitting, or has
@@ -242,6 +249,8 @@ class FlowModeController:
         * receiver — coalescing off, reorder stash occupied, or not
           enough rx-ring headroom for the whole train.
         """
+        if not self.topology_known:
+            return self._fallback("unknown_topology")
         if remaining_full < self.min_train:
             return self._fallback("window_edge")
         window_free = sender.window - sender.in_flight

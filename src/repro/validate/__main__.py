@@ -39,6 +39,12 @@ def _fuzz(args: argparse.Namespace) -> int:
         from dataclasses import replace
 
         scenarios = [replace(s, flow_mode=args.flow_mode) for s in scenarios]
+    if args.topology != "scenario":
+        # Same idea for the fabric: CI re-runs the catalog on every
+        # multi-switch layout without touching the other axes.
+        from dataclasses import replace
+
+        scenarios = [replace(s, topology=args.topology) for s in scenarios]
     specs = [s.to_dict() for s in scenarios]
     reports = run_tasks(run_scenario, specs, jobs=args.jobs)
     failures = [(i, r) for i, r in enumerate(reports) if r["violations"]]
@@ -118,6 +124,10 @@ def main(argv=None) -> int:
     fuzz.add_argument("--flow-mode", choices=("scenario", "off", "auto"),
                       default="scenario",
                       help="override the drawn flow_mode axis on every "
+                           "scenario (default: keep the per-scenario draw)")
+    fuzz.add_argument("--topology", choices=("scenario", "star", "fat-tree", "chain"),
+                      default="scenario",
+                      help="override the drawn topology axis on every "
                            "scenario (default: keep the per-scenario draw)")
     fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
                       help="write failing scenarios unshrunk")

@@ -356,14 +356,24 @@ def _check_frames(record: Dict[str, Any], out: List[Violation]) -> None:
         return sum(c[counter] for name, c in links.items()
                    if name.endswith("." + direction))
 
+    def trunk_sum(counter: str) -> float:
+        # Switch-to-switch links (multi-switch fabrics); zero on the
+        # legacy star, keeping its equations — and artifacts — intact.
+        return sum(c[counter] for name, c in links.items()
+                   if name.startswith("trunk."))
+
     nic, switch = frames["nic"], frames["switch"]
     chain = [
         ("NIC tx -> wire", nic["tx_frames"], link_sum("up", "frames_offered")),
-        ("wire -> switch", link_sum("up", "frames"), switch["forwarded"]),
+        # ``forwarded`` sums over every switch, so a frame crossing a
+        # trunk is forwarded once per hop — the trunk terms balance it.
+        ("wire -> switch",
+         link_sum("up", "frames") + trunk_sum("frames"),
+         switch["forwarded"]),
         ("switch -> wire",
          switch["forwarded"],
-         link_sum("down", "frames_offered") + switch["drops"]
-         + switch["blackout_drops"] + switch["unknown_dst"]
+         link_sum("down", "frames_offered") + trunk_sum("frames_offered")
+         + switch["drops"] + switch["blackout_drops"] + switch["unknown_dst"]
          + switch["hairpin_dropped"]),
         ("wire -> NIC rx", link_sum("down", "frames"), nic["rx_frames"]),
     ]

@@ -19,7 +19,7 @@ from dataclasses import replace
 from typing import Any, Dict, Generator, List, Tuple
 
 from ..cluster import Cluster
-from ..config import ClusterConfig, NodeConfig, SimParams
+from ..config import ClusterConfig, NodeConfig, SimParams, Topology
 from ..oskernel import UserProcess
 from ..protocols.clic import ClicEndpoint
 from ..protocols.reliability import DeliveryFailed, install_channel_probe
@@ -31,6 +31,23 @@ __all__ = ["run_scenario", "execute"]
 
 #: CLIC port all fuzz traffic rides on
 PORT = 1
+
+
+def _topology_spec(scenario: Scenario):
+    """Compile the scenario's topology axis into a :class:`Topology`.
+
+    ``"star"`` maps to ``None`` — the exact legacy single-switch build,
+    so pre-topology campaigns replay byte-identically.  The multi-switch
+    kinds use ``leaf_fan=1`` so even a 2-node fuzz case genuinely
+    crosses trunk links.
+    """
+    if scenario.topology == "star":
+        return None
+    if scenario.topology == "fat-tree":
+        return Topology("fat-tree", leaf_fan=1, uplink_fan=2)
+    if scenario.topology == "chain":
+        return Topology("chain", leaf_fan=1)
+    raise ValueError(f"unknown topology axis {scenario.topology!r}")
 
 
 def _node_config(scenario: Scenario) -> NodeConfig:
@@ -186,10 +203,12 @@ def _assemble(
             rx_buffer_peak = max(rx_buffer_peak, nic.rx_buffer_peak)
     nic_totals["rx_buffer_peak"] = rx_buffer_peak
     nic_totals["rx_ring_slots"] = cluster.cfg.node.nic.rx_ring_slots
-    switch = {c: cluster.switch.counters.get(c) for c in
+    # Aggregated across the whole fabric: for the star topology this is
+    # the single legacy switch, so existing artifacts stay byte-identical.
+    switch = {c: cluster.fabric.counter_sum(c) for c in
               ("forwarded", "drops", "blackout_drops", "unknown_dst",
                "hairpin_dropped", "pause_events", "pause_time_ns")}
-    switch["max_queue_depth"] = cluster.switch.max_queue_depth
+    switch["max_queue_depth"] = cluster.fabric.max_queue_depth
     switch["queue_capacity"] = cluster.switch.queue_frames
 
     record: Dict[str, Any] = {
@@ -226,6 +245,7 @@ def execute(scenario: Scenario) -> Dict[str, Any]:
         seed=scenario.seed,
         switch_backpressure=scenario.backpressure,
         sim=SimParams(flow_mode=scenario.flow_mode),
+        topology=_topology_spec(scenario),
     )
     recorder = ProbeRecorder()
     previous = install_channel_probe(recorder)

@@ -78,6 +78,11 @@ class Scenario:
     #: fast path) — a fuzz axis so every fault family also exercises
     #: the flow engine's mid-flow fallback to exact simulation
     flow_mode: str = "off"
+    #: fabric axis: "star" (the legacy single switch) | "fat-tree" |
+    #: "chain" — multi-switch layouts route every fault family across
+    #: trunk links (and force flow_mode="auto" onto its
+    #: unknown-topology fallback)
+    topology: str = "star"
 
     # -- derived ---------------------------------------------------------
     @property
@@ -259,4 +264,7 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
         # Drawn last so every scenario of a given (seed, index) keeps
         # its pre-flow-mode identity on all other axes.
         flow_mode=str(rng.choice(["off", "auto"])),
+        # Newest axis draws after flow_mode for the same reason: all
+        # earlier axes of a (seed, index) scenario are stable forever.
+        topology=str(rng.choice(["star", "star", "fat-tree", "chain"])),
     )

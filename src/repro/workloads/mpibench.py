@@ -16,7 +16,7 @@ from ..config import ClusterConfig
 from ..mpi import build_world
 from .pingpong import PingPongResult
 
-__all__ = ["mpi_pingpong", "collective_time", "COLLECTIVES"]
+__all__ = ["mpi_pingpong", "collective_time", "collective_rank_times", "COLLECTIVES"]
 
 COLLECTIVES = ("barrier", "bcast", "reduce", "allreduce", "allgather", "alltoall")
 
@@ -59,16 +59,35 @@ def collective_time(
     collective: str,
     nbytes: int,
     repeats: int = 3,
+    collectives: str = "host",
 ) -> float:
     """Average wall time (ns) of one collective across all ranks.
 
     Measured the standard way: barrier, timestamp, ``repeats``
     back-to-back collectives, timestamp, max across ranks.
+    ``collectives`` selects the host algorithms or the NIC-resident
+    engine (see :class:`repro.mpi.World`).
     """
+    return max(collective_rank_times(
+        cfg, transport, collective, nbytes,
+        repeats=repeats, collectives=collectives,
+    ))
+
+
+def collective_rank_times(
+    cfg: ClusterConfig,
+    transport: str,
+    collective: str,
+    nbytes: int,
+    repeats: int = 3,
+    collectives: str = "host",
+) -> List[float]:
+    """Per-rank average wall time (ns) of one collective — the full
+    distribution :func:`collective_time` takes the max of."""
     if collective not in COLLECTIVES:
         raise ValueError(f"unknown collective {collective!r}; have {COLLECTIVES}")
     cluster = Cluster(cfg)
-    world = build_world(cluster, transport)
+    world = build_world(cluster, transport, collectives=collectives)
 
     def program(ctx):
         op = getattr(ctx, collective)
@@ -81,5 +100,4 @@ def collective_time(
                 yield from op(nbytes)
         return (ctx.proc.env.now - t0) / repeats
 
-    per_rank = world.run(program)
-    return max(per_rank)
+    return world.run(program)

@@ -1,0 +1,62 @@
+"""Smoke + shape-check tests for EXT-NICCOLL (collectives-scaling).
+
+The full sweep runs in CI's perf job; here we run the whole pipeline —
+sweep, histograms, crossover curves, traced critical path, shape
+checks — at the smallest size pair that still exercises every claim,
+and prove the shape checks actually bite on doctored data.
+"""
+
+import copy
+
+import pytest
+
+from repro.experiments import nic_collectives
+from repro.experiments.common import ShapeCheckFailure
+
+
+@pytest.fixture(scope="module")
+def result():
+    # (2, 16) is the smallest pair where the sub-linear barrier claim
+    # is meaningful (factor 8 between sizes); everything stays on the
+    # single switch so this is quick enough for the unit loop.
+    saved = nic_collectives.SIZES_QUICK
+    nic_collectives.SIZES_QUICK = (2, 16)
+    try:
+        yield nic_collectives.run(quick=True, jobs=1)
+    finally:
+        nic_collectives.SIZES_QUICK = saved
+
+
+def test_experiment_runs_with_shape_checks(result):
+    assert result["id"] == "EXT-NICCOLL"
+    assert result["sizes"] == [2, 16]
+    assert "host vs NIC collectives" in result["report"]
+    assert "nic 0 syscalls / 0 IRQs / 0 BHs" in result["report"]
+
+
+def test_crossover_curves_cover_every_point(result):
+    assert set(result["crossover"]) == {
+        "barrier/0B", "bcast/8192B", "allreduce/64B", "allreduce/8192B"}
+    # Latency-bound points win immediately; the bandwidth-bound
+    # allreduce never does — that asymmetry is the experiment's result.
+    assert result["crossover"]["barrier/0B"]["nic_wins_at"] == 2
+    assert result["crossover"]["allreduce/8192B"]["nic_wins_at"] is None
+
+
+def test_percentiles_recorded_per_cell(result):
+    cell = result["percentiles"]["barrier/0B/nic/16"]
+    assert cell["p50_us"] <= cell["p99_us"] <= cell["max_us"]
+
+
+def test_shape_checks_bite_on_doctored_data(result):
+    broken = copy.deepcopy(result)
+    # A NIC barrier slower than the host must fail the latency claim.
+    broken["times"]["barrier/0B"]["nic"]["16"] = (
+        broken["times"]["barrier/0B"]["host"]["16"] * 2)
+    with pytest.raises(ShapeCheckFailure, match="latency-bound"):
+        nic_collectives.shape_checks(broken)
+
+    broken = copy.deepcopy(result)
+    broken["trace"]["nic"]["syscall_spans"] = 3
+    with pytest.raises(ShapeCheckFailure, match="zero times"):
+        nic_collectives.shape_checks(broken)

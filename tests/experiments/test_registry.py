@@ -15,7 +15,7 @@ def test_registry_lists_all_paper_artifacts():
     assert set(EXPERIMENTS) == {
         "fig4", "fig5", "fig6", "fig7",
         "headline", "comparison", "interrupts", "ablations", "breakdown",
-        "collectives", "fe2001", "resilience",
+        "collectives", "collectives-scaling", "fe2001", "resilience",
     }
 
 

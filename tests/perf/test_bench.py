@@ -85,7 +85,7 @@ def test_run_bench_rejects_unknown_scenarios():
         run_bench(scenarios=["nope"])
     assert [name for name, _ in SCENARIOS] == [
         "headline", "fig4", "fig5", "fig7", "resilience", "journey",
-        "bulk-flowmode"]
+        "bulk-flowmode", "collectives-scaling"]
 
 
 def test_current_rev_is_short_string():

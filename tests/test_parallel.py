@@ -80,3 +80,22 @@ def test_run_tasks_profiled_matches_serial():
     assert serial == parallel
     for _result, profile in parallel:
         assert profile["events_processed"] > 0
+
+
+def _nested_fanout(n):
+    """A task that itself fans out through a serial run_tasks — the
+    battery shape: experiments sweep points with their own jobs knob."""
+    return sum(run_tasks(_sim_chain, [n, n + 1], jobs=1))
+
+
+def test_nested_run_tasks_under_pooled_profiling():
+    """A pooled, profiled outer run_tasks over tasks that nest their own
+    serial run_tasks: the inner call freezes its profilers to snapshot
+    dicts, and the worker shim must pass those through instead of
+    re-snapshotting (regression: AttributeError on the battery)."""
+    specs = [10, 20]
+    serial = run_tasks_profiled(_nested_fanout, specs, jobs=1)
+    pooled = run_tasks_profiled(_nested_fanout, specs, jobs=2)
+    assert serial == pooled
+    for _result, profile in pooled:
+        assert profile["events_processed"] > 0
